@@ -1,0 +1,21 @@
+"""Ablation (Eq. 1 / Sec. V-C): divider margins of the frozen sizing.
+
+Verifies both 1.5T1Fe designs keep positive mismatch and match margins
+around the TML threshold — the condition behind every truth table.
+"""
+
+from fecam.bench import ablation_divider_margins, print_experiment
+
+
+def test_ablation_divider_margins(benchmark):
+    rows = benchmark.pedantic(ablation_divider_margins, rounds=1,
+                              iterations=1)
+    print_experiment(
+        "1.5T1Fe divider margins (DC equilibria vs TML threshold)",
+        ["design", "tml_vth", "mismatch_margin_v", "match_margin_v", "ok"],
+        [[r["design"], r["tml_vth"], r["mismatch_margin_v"],
+          r["match_margin_v"], r["functional"]] for r in rows])
+    for r in rows:
+        assert r["functional"]
+        assert r["mismatch_margin_v"] > 0.08
+        assert r["match_margin_v"] > 0.08

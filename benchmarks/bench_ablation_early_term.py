@@ -1,0 +1,25 @@
+"""Ablation (Sec. III-B3): early-termination energy saving vs miss rate.
+
+The paper assumes a pessimistic 90 % step-1 miss rate and reports the
+average search energy; this bench sweeps the miss rate and verifies the
+saving grows monotonically, hitting the paper's operating point.
+"""
+
+from fecam.bench import ablation_early_termination, print_experiment
+
+
+def test_ablation_early_termination(benchmark):
+    rows = benchmark.pedantic(ablation_early_termination, rounds=1,
+                              iterations=1)
+    print_experiment(
+        "Early-termination energy vs step-1 miss rate",
+        ["design", "miss_rate", "E_with_fj", "E_without_fj", "saving_%"],
+        [[r["design"], r["step1_miss_rate"],
+          r["energy_with_early_term_fj"], r["energy_without_fj"],
+          r["saving_pct"]] for r in rows])
+    for design in ("1.5T1SG-Fe", "1.5T1DG-Fe"):
+        series = [r for r in rows if r["design"] == design]
+        savings = [r["saving_pct"] for r in series]
+        assert all(b >= a - 1e-9 for a, b in zip(savings, savings[1:]))
+        at90 = next(r for r in series if r["step1_miss_rate"] == 0.9)
+        assert at90["saving_pct"] > 15.0  # material saving at the paper's point

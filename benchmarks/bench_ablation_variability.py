@@ -1,0 +1,34 @@
+"""Ablation: Monte-Carlo variability of the 1.5T1Fe divider (DESIGN.md
+S12, motivated by the DG-FeFET variability analysis the paper cites).
+
+Sweeps the FE domain count (grain size) and reports functional yield —
+the multi-level MVT state is the variation-limited one, which is why the
+paper's co-optimized margins matter.
+"""
+
+from fecam.bench import print_experiment
+from fecam.designs import DesignKind
+from fecam.devices import VariationParams, divider_yield
+
+
+def run():
+    rows = []
+    for design in (DesignKind.SG_1T5, DesignKind.DG_1T5):
+        for n_domains in (20, 80, 320):
+            r = divider_yield(design, samples=120,
+                              params=VariationParams(n_domains=n_domains))
+            rows.append([str(design), n_domains, r.yield_fraction,
+                         r.margin_percentile(0.05)])
+    return rows
+
+
+def test_ablation_variability(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_experiment(
+        "Divider functional yield vs FE domain count (120 MC samples)",
+        ["design", "n_domains", "yield", "p05_worst_margin_v"], rows)
+    # Yield improves monotonically with domain count for each design.
+    for design in ("1.5T1SG-Fe", "1.5T1DG-Fe"):
+        series = [r[2] for r in rows if r[0] == design]
+        assert series[0] <= series[1] <= series[2] + 0.05
+        assert series[-1] > 0.5  # fine-grained films mostly functional

@@ -1,0 +1,45 @@
+"""Cross-check: the closed-form Eva-CAM-style estimator vs the SPICE
+tier, plus banked-macro scaling (capacity sweep at constant word)."""
+
+from fecam.arch import TcamMacro, estimate_search, evaluate_array
+from fecam.bench import print_experiment
+from fecam.designs import DesignKind
+
+
+def run():
+    rows = []
+    for d in DesignKind.fefet_designs():
+        spice = evaluate_array(d, word_length=64)
+        quick = estimate_search(d, 64)
+        rows.append([str(d), spice.latency_1step * 1e12,
+                     quick.latency_per_eval * 1e12,
+                     spice.search_energy_avg * 1e15,
+                     quick.energy_per_bit * 1e15])
+    return rows
+
+
+def test_analytical_vs_spice(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_experiment(
+        "Analytical estimator vs SPICE tier (64-bit words)",
+        ["design", "spice_lat_ps", "quick_lat_ps", "spice_E_fj", "quick_E_fj"],
+        rows)
+    for design, l_spice, l_quick, e_spice, e_quick in rows:
+        assert 1 / 3 < l_quick / l_spice < 3, design
+        assert 1 / 4 < e_quick / e_spice < 4, design
+
+
+def test_macro_scaling(benchmark):
+    def run_macro():
+        return [TcamMacro.for_capacity(DesignKind.DG_1T5, entries=n,
+                                       word=64).summary()
+                for n in (256, 1024, 4096)]
+
+    summaries = benchmark.pedantic(run_macro, rounds=1, iterations=1)
+    print_experiment(
+        "1.5T1DG-Fe banked macro scaling",
+        ["entries", "banks", "area_mm2", "search_pj", "latency_ns"],
+        [[s["capacity_entries"], s["banks"], s["area_mm2"],
+          s["search_energy_pj"], s["search_latency_ns"]] for s in summaries])
+    areas = [s["area_mm2"] for s in summaries]
+    assert areas[0] < areas[1] < areas[2]

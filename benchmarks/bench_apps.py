@@ -1,0 +1,113 @@
+"""Application-level benchmarks on the behavioral TCAM engine: the
+paper's motivating workloads (router LPM, associative cache, packet
+classification, genomics seed matching), with real throughput numbers.
+"""
+
+import random
+
+from fecam.apps import (Packet, Rule, SeedIndex, TcamCache, TcamClassifier,
+                        TcamRouter, int_to_ip, vote_alignment)
+from fecam.bench import print_experiment
+from fecam.designs import DesignKind
+from fecam.functional import EnergyModel, TernaryCAM
+
+
+def _fast_tcam(rows, width):
+    model = EnergyModel(DesignKind.DG_1T5, width, e_1step_per_bit=0.8e-15,
+                        e_2step_per_bit=1.3e-15, latency_1step=0.7e-9,
+                        latency_2step=2.3e-9, write_energy_per_cell=0.41e-15)
+    return TernaryCAM(rows=rows, width=width, design=DesignKind.DG_1T5,
+                      energy_model=model)
+
+
+def test_bench_engine_search(benchmark):
+    rng = random.Random(7)
+    tcam = _fast_tcam(1024, 64)
+    for row in range(1024):
+        word = "".join(rng.choice("01X") for _ in range(64))
+        tcam.write(row, word)
+    queries = ["".join(rng.choice("01") for _ in range(64))
+               for _ in range(64)]
+
+    def run():
+        hits = 0
+        for q in queries:
+            hits += len(tcam.search(q).matches)
+        return hits
+
+    benchmark(run)
+
+
+def test_bench_router_lookup(benchmark):
+    rng = random.Random(11)
+    router = TcamRouter(capacity=512)
+    router.add_route("0.0.0.0/0", "default")
+    for _ in range(255):
+        net = rng.randrange(0, 1 << 32)
+        length = rng.randrange(8, 29)
+        router.add_route(f"{int_to_ip(net)}/{length}", f"hop{length}")
+    addrs = [int_to_ip(rng.randrange(0, 1 << 32)) for _ in range(128)]
+    router.lookup(addrs[0])  # build the TCAM outside the timed region
+
+    def run():
+        return [router.lookup(a) for a in addrs]
+
+    hops = benchmark(run)
+    assert all(h is not None for h in hops)  # default route catches all
+    print_experiment("Router stats", ["routes", "searches"],
+                     [[len(router), router.stats["searches"]]])
+
+
+def test_bench_cache(benchmark):
+    rng = random.Random(3)
+    trace = [rng.randrange(0, 1 << 20) & ~0x3F for _ in range(512)]
+    # Re-visit addresses to create locality.
+    trace += trace[:256]
+
+    def run():
+        cache = TcamCache(lines=64, block_bits=6, address_bits=24)
+        for addr in trace:
+            cache.access(addr)
+        return cache.hit_rate
+
+    hit_rate = benchmark(run)
+    assert 0.0 < hit_rate < 1.0
+
+
+def test_bench_classifier(benchmark):
+    cl = TcamClassifier()
+    cl.add_rule(Rule(name="dns", dst_port_range=(53, 53), protocol=17))
+    cl.add_rule(Rule(name="web", dst_port_range=(80, 443)))
+    cl.add_rule(Rule(name="ephemeral", dst_port_range=(32768, 65535)))
+    rng = random.Random(5)
+    packets = [Packet(src_ip=rng.randrange(1 << 32),
+                      dst_ip=rng.randrange(1 << 32),
+                      src_port=rng.randrange(1 << 16),
+                      dst_port=rng.randrange(1 << 16),
+                      protocol=rng.choice((6, 17))) for _ in range(64)]
+    cl.classify(packets[0])  # build outside the timed region
+
+    def run():
+        return [cl.classify(p) for p in packets]
+
+    verdicts = benchmark(run)
+    reference = [cl.classify_reference(p) for p in packets]
+    assert verdicts == reference
+
+
+def test_bench_genomics(benchmark):
+    rng = random.Random(13)
+    reference = "".join(rng.choice("ACGT") for _ in range(512))
+    index = SeedIndex(reference, k=8)
+    reads = []
+    for _ in range(16):
+        start = rng.randrange(0, 512 - 48)
+        reads.append((reference[start:start + 48], start))
+
+    def run():
+        return [vote_alignment(read, index) for read, _ in reads]
+
+    offsets = benchmark(run)
+    correct = sum(1 for (read, start), off in zip(reads, offsets)
+                  if off == start)
+    assert correct >= 14  # near-perfect mapping on exact reads

@@ -1,0 +1,37 @@
+"""Paper Fig. 1(c)/(d): SG FG-read and DG BG-read I-V characteristics.
+
+Regenerates both curves and checks the headline device metrics: memory
+windows (1.8 V / 2.7 V), the ~1e4-level ON/OFF ratio at the shared 2.0 V,
+and the BG-read subthreshold-slope degradation.
+"""
+
+from fecam.bench import fig1_iv_curves, print_experiment
+
+
+def test_fig1_device_iv(benchmark):
+    data = benchmark.pedantic(fig1_iv_curves, rounds=1, iterations=1)
+    sg, dg = data["sg_fg_read"], data["dg_bg_read"]
+    print_experiment(
+        "Fig. 1 device metrics (paper vs measured)",
+        ["metric", "paper", "measured"],
+        [
+            ["SG FG-read MW (V)", sg["paper_mw_v"], sg["mw_v"]],
+            ["DG BG-read MW (V)", dg["paper_mw_v"], dg["mw_v"]],
+            ["SG tFE (nm)", 10, sg["t_fe_nm"]],
+            ["DG tFE (nm)", 5, dg["t_fe_nm"]],
+            ["SG write voltage (V)", 4.0, sg["write_v"]],
+            ["DG write voltage (V)", 2.0, dg["write_v"]],
+            ["DG ON/OFF @ 2V", dg["paper_on_off_at_2v"], dg["on_off_at_2v"]],
+            ["DG SS(FG) (mV/dec)", "~65", dg["ss_fg_mv_dec"]],
+            ["DG SS(BG) (mV/dec)", "~190 (3x)", dg["ss_bg_mv_dec"]],
+        ])
+    # Shape assertions (the reproduction criteria).
+    assert abs(sg["mw_v"] - 1.8) < 0.05
+    assert abs(dg["mw_v"] - 2.7) < 0.05
+    assert 1e3 < dg["on_off_at_2v"] < 1e7
+    assert dg["ss_bg_mv_dec"] > 2.5 * dg["ss_fg_mv_dec"]
+    # LVT conducts orders of magnitude above HVT at the read points.
+    import numpy as np
+    i_lvt = np.interp(2.0, dg["v"], dg["i_lvt"])
+    i_hvt = np.interp(2.0, dg["v"], dg["i_hvt"])
+    assert i_lvt / i_hvt > 1e3

@@ -1,0 +1,37 @@
+"""Paper Fig. 4: 1.5T1DG-Fe two-step search transients.
+
+Regenerates the SeLa/SeLb, ML and SA-output waveforms for the match,
+step-1 miss, and step-2 miss cases, and checks their qualitative shape:
+step-1 miss discharges during step 1 (and terminates early), step-2 miss
+during step 2, and the match keeps ML above the sense threshold (with the
+small transition dip visible in the paper's match curve).
+"""
+
+import numpy as np
+
+from fecam.bench import fig4_transient_waveforms, print_experiment
+
+
+def test_fig4_transient(benchmark):
+    traces = benchmark.pedantic(fig4_transient_waveforms, rounds=1,
+                                iterations=1)
+    rows = []
+    for scenario, tr in traces.items():
+        ml = np.asarray(tr["ml"])
+        rows.append([scenario, tr["steps_run"], tr["latency_ps"],
+                     float(ml.min()), tr["matched"], tr["expected"]])
+    print_experiment(
+        "Fig. 4 transient summary (1.5T1DG-Fe, 64-bit word)",
+        ["scenario", "steps", "latency_ps", "ml_min_v", "matched", "expected"],
+        rows)
+
+    s1, s2, mt = traces["step1_miss"], traces["step2_miss"], traces["match"]
+    assert s1["steps_run"] == 1 and not s1["matched"]  # early termination
+    assert s2["steps_run"] == 2 and not s2["matched"]
+    assert mt["matched"] and mt["expected"]
+    assert s1["latency_ps"] < s2["latency_ps"]
+    # Match-case ML never crosses the SA threshold (0.4 V), but may dip.
+    assert min(mt["ml"]) > 0.4
+    # SeLb stays grounded in the early-terminated search (paper Fig. 7 note).
+    assert max(s1["selb"]) < 0.1
+    assert max(s2["selb"]) > 1.5

@@ -1,0 +1,29 @@
+"""Paper Fig. 6: the shared HV-driver mat.
+
+Checks the co-optimization claim: only the DG designs (whose LVT write
+and BG read levels coincide at 2.0 V) support sharing; sharing halves the
+driver count/area and doubles utilization.
+"""
+
+from fecam.bench import fig6_shared_driver, print_experiment
+
+
+def test_fig6_shared_driver(benchmark):
+    rows = benchmark.pedantic(fig6_shared_driver, rounds=1, iterations=1)
+    print_experiment(
+        "Fig. 6 shared-driver mat (4 subarrays of 64x64)",
+        ["design", "sharing", "drv_unshared", "drv_shared",
+         "area_unshared_um2", "area_shared_um2", "util_shared"],
+        [[r["design"], r["sharing_supported"], r["drivers_unshared"],
+          r["drivers_shared"], r["area_unshared_um2"],
+          r["area_shared_um2"], r["utilization_shared"]] for r in rows])
+    by = {r["design"]: r for r in rows}
+    for d in ("2DG-FeFET", "1.5T1DG-Fe"):
+        assert by[d]["sharing_supported"]
+        assert by[d]["drivers_shared"] * 2 == by[d]["drivers_unshared"]
+    for d in ("2SG-FeFET", "1.5T1SG-Fe"):
+        assert not by[d]["sharing_supported"]
+        assert by[d]["drivers_shared"] == by[d]["drivers_unshared"]
+    # HV drivers for +/-4 V SG writes are bigger than the 2 V DG ones.
+    assert (by["2SG-FeFET"]["area_unshared_um2"] / by["2SG-FeFET"]["drivers_unshared"]
+            > by["2DG-FeFET"]["area_unshared_um2"] / by["2DG-FeFET"]["drivers_unshared"])

@@ -1,0 +1,18 @@
+"""Paper Tab. III: 1.5T1SG-Fe TCAM cell operation table.
+
+Same verification for the SG adaptation (merged BL/SeL, Vw=4 V,
+Vm=3.2 V, VSeL=0.8 V).
+"""
+
+from fecam.bench import print_experiment, table3_operations
+
+
+def test_table3_15t1sg_operations(benchmark):
+    rows = benchmark.pedantic(table3_operations, rounds=1, iterations=1)
+    print_experiment("Tab. III — 1.5T1SG-Fe cell operations (SPICE-verified)",
+                     ["stored", "search", "expected", "measured", "correct"],
+                     [[r["stored"], r["search"], r["expected_match"],
+                       r["measured_match"], r["correct"]] for r in rows])
+    assert all(r["correct"] for r in rows)
+    v = rows[0]
+    assert v["vw"] == 4.0 and v["vm"] == 3.2 and v["vsel"] == 0.8

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Device-level tour: the Fig. 1 measurements, a hysteresis loop, and a
+real electrical write through the circuit simulator.
+
+Run:  python examples/device_playground.py
+"""
+
+import numpy as np
+
+from fecam import DesignKind
+from fecam.cam import WriteController
+from fecam.devices import FerroParams, FerroelectricLayer, make_fefet
+from fecam.spice import (Circuit, Pulse, Resistor, TransientOptions,
+                         VoltageSource, transient)
+from fecam.units import FJ
+
+print("=" * 70)
+print("DG-FeFET BG-read I-V (paper Fig. 1d)")
+print("=" * 70)
+lvt = make_fefet(DesignKind.DG_1T5, "L", "fg", "d", "s", "bg", initial_s=1.0)
+hvt = make_fefet(DesignKind.DG_1T5, "H", "fg", "d", "s", "bg", initial_s=0.0)
+print(f"  MW(BG) = {lvt.params.mw_bg:.2f} V   (paper: 2.7 V)")
+print(f"  SS(FG) = {lvt.params.subthreshold_swing_fg * 1e3:.0f} mV/dec, "
+      f"SS(BG) = {lvt.params.subthreshold_swing_bg * 1e3:.0f} mV/dec")
+print(f"  {'VBG':>5s} {'I(LVT)':>12s} {'I(HVT)':>12s}")
+for v_bg in np.linspace(-1, 4, 11):
+    i_l = lvt.channel_current(0.0, 0.8, 0.0, v_bg)
+    i_h = hvt.channel_current(0.0, 0.8, 0.0, v_bg)
+    print(f"  {v_bg:5.1f} {i_l:12.3e} {i_h:12.3e}")
+
+print()
+print("=" * 70)
+print("Ferroelectric hysteresis loop (KAI kinetics, 5 nm layer)")
+print("=" * 70)
+layer = FerroelectricLayer(FerroParams(t_fe=5e-9), s=0.0)
+fields, polarizations = layer.sweep_loop(e_peak=5e8, period=200e-9,
+                                         points_per_branch=40)
+p_at_zero = [p for e, p in zip(fields, polarizations) if abs(e) < 2e7]
+print(f"  remanent polarization spread at E=0: "
+      f"{(max(p_at_zero) - min(p_at_zero)) * 100:.1f} uC/cm^2 "
+      f"(2Pr = {2 * layer.params.ps * 100:.1f})")
+print(f"  apparent coercive field for a 10 ns pulse: "
+      f"{layer.effective_coercive_field(10e-9) / 1e8:.2f} x 1e8 V/m")
+
+print()
+print("=" * 70)
+print("Electrical write: +2 V pulse on the FG through the MNA engine")
+print("=" * 70)
+fefet = make_fefet(DesignKind.DG_1T5, "W", "fg", "d", "s", "bg", initial_s=0.0)
+ckt = Circuit("write-demo")
+ckt.add(VoltageSource("VBL", "fg", "0", Pulse(0.0, 2.0, delay=1e-9,
+                                              rise=0.5e-9, fall=0.5e-9,
+                                              width=10e-9)))
+ckt.add(Resistor("RD", "d", "0", 100.0))
+ckt.add(Resistor("RS", "s", "0", 100.0))
+ckt.add(VoltageSource("VBG", "bg", "0", 0.0))
+ckt.add(fefet)
+result = transient(ckt, 13e-9, options=TransientOptions(dt=0.05e-9))
+print(f"  domain fraction after the pulse: s = {fefet.s:.3f} (HVT -> LVT)")
+print(f"  energy drawn from the bit line: {result.energy('VBL') / FJ:.2f} fJ"
+      f"  (2*Pr*A*Vw = {2 * 0.102 * 1e-15 * 2.0 / FJ:.2f} fJ)")
+
+print()
+print("Three-step write with MVT program-verify (paper Sec. III-B3):")
+wc = WriteController(DesignKind.DG_1T5)
+for symbol in "01X":
+    f = make_fefet(DesignKind.DG_1T5, "P", "a", "b", "c", "d", initial_s=1.0)
+    pulses = wc.write_fefet(f, symbol)
+    print(f"  write '{symbol}': s = {f.s:.3f}, state = {f.state(0.74)}, "
+          f"verify pulses = {pulses}, "
+          f"E = {wc.write_energy_per_cell(symbol) / FJ:.2f} fJ")

@@ -1,0 +1,43 @@
+"""fecam — reproduction of the DAC 2023 paper
+"Compact and High-Performance TCAM Based on Scaled Double-Gate FeFETs".
+
+Layered public API:
+
+* :mod:`fecam.spice` — modified-nodal-analysis circuit simulator.
+* :mod:`fecam.devices` — compact models: EKV MOSFET, Preisach/KAI
+  ferroelectric, SG- and DG-FeFET.
+* :mod:`fecam.cam` — the paper's contribution: 1.5T1Fe TCAM cells (SG/DG),
+  the 2FeFET baselines, word/array circuits, write and two-step-search
+  controllers with early termination.
+* :mod:`fecam.arch` — Eva-CAM-style array evaluation: areas, wires, shared
+  HV drivers, figures of merit.
+* :mod:`fecam.functional` — fast behavioral ternary-match engine annotated
+  with circuit-tier energy/latency.
+* :mod:`fecam.apps` — application substrates (router LPM, associative
+  cache, packet classifier, genomics seed matching).
+* :mod:`fecam.bench` — experiment harness regenerating every paper
+  table/figure.
+
+Quickstart::
+
+    import fecam
+
+    tcam = fecam.functional.TernaryCAM(rows=64, width=64,
+                                       design=fecam.DesignKind.DG_1T5)
+    tcam.write(0, "01X" * 21 + "0")
+    hits = tcam.search("010" * 21 + "0")
+"""
+
+from .designs import DesignKind
+from . import spice  # noqa: F401
+from . import devices  # noqa: F401
+from . import cam  # noqa: F401
+from . import arch  # noqa: F401
+from . import functional  # noqa: F401
+from . import apps  # noqa: F401
+from . import bench  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = ["DesignKind", "spice", "devices", "cam", "arch", "functional",
+           "apps", "bench", "__version__"]

@@ -1,0 +1,96 @@
+"""Fully-associative cache with TCAM tag matching — the paper's
+"high-associativity caches" motivation (Sec. I / abstract).
+
+The tag store is a binary-mode TCAM (no wildcards in tags); hit detection
+is one parallel search.  Replacement is LRU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..designs import DesignKind
+from ..errors import OperationError
+from ..functional.engine import TernaryCAM
+
+__all__ = ["AccessResult", "TcamCache"]
+
+
+@dataclass
+class AccessResult:
+    hit: bool
+    line: int
+    evicted_tag: Optional[int] = None
+
+
+class TcamCache:
+    """Fully-associative cache: TCAM tags + LRU replacement.
+
+    >>> cache = TcamCache(lines=2, block_bits=4, address_bits=16)
+    >>> cache.access(0x1230).hit
+    False
+    >>> cache.access(0x1234).hit   # same block
+    True
+    """
+
+    def __init__(self, lines: int, *, block_bits: int = 6,
+                 address_bits: int = 32,
+                 design: DesignKind = DesignKind.DG_1T5):
+        if lines < 1:
+            raise OperationError("cache needs at least one line")
+        if not 0 < block_bits < address_bits:
+            raise OperationError("invalid block/address split")
+        self.lines = lines
+        self.block_bits = block_bits
+        self.tag_bits = address_bits - block_bits
+        # TCAM words must be even-length for the 2-cell pairing.
+        self._pad = self.tag_bits % 2
+        self._tcam = TernaryCAM(rows=lines, width=self.tag_bits + self._pad,
+                                design=design)
+        self._tags: List[Optional[int]] = [None] * lines
+        self._lru: List[int] = list(range(lines))  # front = LRU victim
+        self.hits = 0
+        self.misses = 0
+
+    def _tag_of(self, address: int) -> int:
+        return address >> self.block_bits
+
+    def _tag_word(self, tag: int) -> str:
+        return format(tag, f"0{self.tag_bits + self._pad}b")
+
+    def _touch(self, line: int) -> None:
+        self._lru.remove(line)
+        self._lru.append(line)
+
+    def access(self, address: int) -> AccessResult:
+        """Look up an address; allocate on miss (LRU victim)."""
+        if address < 0:
+            raise OperationError("addresses are non-negative")
+        tag = self._tag_of(address)
+        row = self._tcam.search_first(self._tag_word(tag))
+        if row is not None and self._tags[row] == tag:
+            self.hits += 1
+            self._touch(row)
+            return AccessResult(hit=True, line=row)
+        self.misses += 1
+        victim = self._lru[0]
+        evicted = self._tags[victim]
+        self._tags[victim] = tag
+        self._tcam.write(victim, self._tag_word(tag))
+        self._touch(victim)
+        return AccessResult(hit=False, line=victim, evicted_tag=evicted)
+
+    def contains(self, address: int) -> bool:
+        tag = self._tag_of(address)
+        row = self._tcam.search_first(self._tag_word(tag))
+        return row is not None and self._tags[row] == tag
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def energy_spent(self) -> float:
+        return self._tcam.energy_spent

@@ -1,0 +1,173 @@
+"""Packet classification with range-to-ternary expansion.
+
+Firewall/QoS rules mix prefixes (addresses) with numeric ranges (ports).
+TCAMs store only ternary words, so ranges are expanded into the minimal
+set of prefix words (the classic O(2w) expansion); each logical rule may
+occupy several TCAM rows.  Priority = rule insertion order, mapped to row
+order so the priority encoder returns the highest-priority hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..designs import DesignKind
+from ..errors import OperationError
+from ..functional.engine import TernaryCAM
+
+__all__ = ["range_to_prefixes", "Rule", "Packet", "TcamClassifier"]
+
+
+def range_to_prefixes(lo: int, hi: int, width: int) -> List[str]:
+    """Minimal prefix cover of the integer range [lo, hi].
+
+    Returns ternary words of ``width`` bits.  This is the standard TCAM
+    range-expansion: worst case 2*width - 2 prefixes (e.g. [1, 2^w - 2]).
+    """
+    if lo > hi:
+        raise OperationError(f"empty range [{lo}, {hi}]")
+    if lo < 0 or hi >= (1 << width):
+        raise OperationError(f"range [{lo}, {hi}] exceeds {width} bits")
+    prefixes: List[str] = []
+
+    def cover(lo_: int, hi_: int) -> None:
+        if lo_ > hi_:
+            return
+        # Largest aligned block starting at lo_ that fits in [lo_, hi_].
+        size = 1
+        while True:
+            next_size = size * 2
+            if lo_ % next_size != 0 or lo_ + next_size - 1 > hi_:
+                break
+            size = next_size
+        bits = width - size.bit_length() + 1
+        if bits == 0:
+            prefix = ""  # the block covers the whole space: all wildcards
+        else:
+            prefix = format(lo_ >> (width - bits), f"0{bits}b")
+        prefixes.append(prefix + "X" * (width - bits))
+        cover(lo_ + size, hi_)
+
+    cover(lo, hi)
+    return prefixes
+
+
+@dataclass(frozen=True)
+class Packet:
+    """The 5-tuple-ish header the classifier matches on."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def key_bits(self) -> str:
+        return (format(self.src_ip, "032b") + format(self.dst_ip, "032b")
+                + format(self.src_port, "016b") + format(self.dst_port, "016b")
+                + format(self.protocol, "08b"))
+
+
+@dataclass
+class Rule:
+    """One classification rule; ranges expand to multiple TCAM rows."""
+
+    name: str
+    src_prefix: Tuple[int, int] = (0, 0)  # (network, prefix_len)
+    dst_prefix: Tuple[int, int] = (0, 0)
+    src_port_range: Tuple[int, int] = (0, 65535)
+    dst_port_range: Tuple[int, int] = (0, 65535)
+    protocol: Optional[int] = None  # None = any
+
+    def _prefix_word(self, prefix: Tuple[int, int]) -> str:
+        network, length = prefix
+        bits = format(network, "032b")
+        return bits[:length] + "X" * (32 - length)
+
+    def ternary_words(self) -> List[str]:
+        """Cartesian product of the field expansions."""
+        src = self._prefix_word(self.src_prefix)
+        dst = self._prefix_word(self.dst_prefix)
+        sports = range_to_prefixes(*self.src_port_range, width=16)
+        dports = range_to_prefixes(*self.dst_port_range, width=16)
+        proto = ("X" * 8 if self.protocol is None
+                 else format(self.protocol, "08b"))
+        return [src + dst + sp + dp + proto for sp in sports for dp in dports]
+
+    def matches(self, packet: Packet) -> bool:
+        """Reference (non-TCAM) semantics for verification."""
+        def prefix_ok(value, prefix):
+            network, length = prefix
+            if length == 0:
+                return True
+            shift = 32 - length
+            return value >> shift == network >> shift
+
+        return (prefix_ok(packet.src_ip, self.src_prefix)
+                and prefix_ok(packet.dst_ip, self.dst_prefix)
+                and self.src_port_range[0] <= packet.src_port <= self.src_port_range[1]
+                and self.dst_port_range[0] <= packet.dst_port <= self.dst_port_range[1]
+                and (self.protocol is None or packet.protocol == self.protocol))
+
+
+class TcamClassifier:
+    """Priority packet classifier over a 104-bit TCAM key."""
+
+    KEY_WIDTH = 32 + 32 + 16 + 16 + 8
+
+    def __init__(self, capacity_rows: int = 4096,
+                 design: DesignKind = DesignKind.DG_1T5):
+        self.capacity_rows = capacity_rows
+        self.design = design
+        self.rules: List[Rule] = []
+        self._row_rule: List[int] = []
+        self._tcam: Optional[TernaryCAM] = None
+        self._dirty = True
+
+    def add_rule(self, rule: Rule) -> int:
+        """Append a rule (lower index = higher priority); returns the
+        number of TCAM rows it expands to."""
+        words = rule.ternary_words()
+        used = len(self._row_rule)
+        if used + len(words) > self.capacity_rows:
+            raise OperationError("classifier TCAM capacity exceeded")
+        self.rules.append(rule)
+        self._dirty = True
+        return len(words)
+
+    def _rebuild(self) -> None:
+        rows: List[Tuple[str, int]] = []
+        for idx, rule in enumerate(self.rules):
+            for word in rule.ternary_words():
+                rows.append((word, idx))
+        self._tcam = TernaryCAM(rows=max(len(rows), 1), width=self.KEY_WIDTH,
+                                design=self.design)
+        self._row_rule = []
+        for row, (word, idx) in enumerate(rows):
+            self._tcam.write(row, word)
+            self._row_rule.append(idx)
+        self._dirty = False
+
+    @property
+    def rows_used(self) -> int:
+        if self._dirty:
+            self._rebuild()
+        return len(self._row_rule)
+
+    def classify(self, packet: Packet) -> Optional[str]:
+        """Highest-priority rule name matching the packet, or None."""
+        if not self.rules:
+            return None
+        if self._dirty:
+            self._rebuild()
+        row = self._tcam.search_first(packet.key_bits())
+        if row is None:
+            return None
+        return self.rules[self._row_rule[row]].name
+
+    def classify_reference(self, packet: Packet) -> Optional[str]:
+        for rule in self.rules:
+            if rule.matches(packet):
+                return rule.name
+        return None

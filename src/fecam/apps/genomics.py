@@ -1,0 +1,115 @@
+"""Seed matching for DNA read mapping — the paper's bioinformatics
+motivation (Sec. I, citing the seed-and-vote in-memory accelerator [2]).
+
+Reads are chopped into fixed-length seeds; each seed is matched in
+parallel against reference k-mers stored in the TCAM.  Ambiguous IUPAC
+bases ('N') map to don't-care symbols, which is exactly the ternary
+capability binary CAMs lack.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..designs import DesignKind
+from ..errors import OperationError
+from ..functional.engine import TernaryCAM
+
+__all__ = ["encode_base", "encode_seed", "SeedIndex", "vote_alignment"]
+
+_BASE_BITS = {"A": "00", "C": "01", "G": "10", "T": "11", "N": "XX"}
+
+
+def encode_base(base: str) -> str:
+    """2-bit DNA encoding; 'N' (unknown) becomes two don't-cares."""
+    try:
+        return _BASE_BITS[base.upper()]
+    except KeyError:
+        raise OperationError(f"invalid base {base!r}") from None
+
+
+def encode_seed(seed: str) -> str:
+    """Encode a DNA string into a ternary TCAM word (2 bits per base)."""
+    if not seed:
+        raise OperationError("empty seed")
+    return "".join(encode_base(b) for b in seed)
+
+
+@dataclass
+class SeedHit:
+    position: int  # reference offset of the stored k-mer
+    row: int
+
+
+class SeedIndex:
+    """TCAM index of all k-mers of a reference sequence.
+
+    >>> idx = SeedIndex("ACGTACGTACGT", k=4)
+    >>> [h.position for h in idx.lookup("TACG")]
+    [3, 7]
+    """
+
+    def __init__(self, reference: str, k: int = 8,
+                 design: DesignKind = DesignKind.DG_1T5):
+        if k < 2:
+            raise OperationError("seed length must be >= 2")
+        if len(reference) < k:
+            raise OperationError("reference shorter than the seed length")
+        self.reference = reference.upper()
+        self.k = k
+        positions = len(self.reference) - k + 1
+        self._tcam = TernaryCAM(rows=positions, width=2 * k, design=design)
+        for pos in range(positions):
+            kmer = self.reference[pos:pos + k]
+            self._tcam.write(pos, encode_seed(kmer))
+
+    def lookup(self, seed: str) -> List[SeedHit]:
+        """All reference positions whose k-mer matches the seed.
+
+        The *query* must be concrete (A/C/G/T): TCAM queries are binary.
+        Ambiguity lives on the stored side ('N' in the reference).
+        """
+        if len(seed) != self.k:
+            raise OperationError(f"seed must be {self.k} bases")
+        word = encode_seed(seed)
+        if "X" in word:
+            raise OperationError("query seeds must not contain N")
+        stats = self._tcam.search(word)
+        return [SeedHit(position=row, row=row) for row in stats.matches]
+
+    def lookup_reference_scan(self, seed: str) -> List[int]:
+        """Software reference implementation (for verification)."""
+        hits = []
+        for pos in range(len(self.reference) - self.k + 1):
+            kmer = self.reference[pos:pos + self.k]
+            if all(r == "N" or r == s for r, s in zip(kmer, seed.upper())):
+                hits.append(pos)
+        return hits
+
+    @property
+    def energy_spent(self) -> float:
+        return self._tcam.energy_spent
+
+
+def vote_alignment(read: str, index: SeedIndex,
+                   stride: Optional[int] = None) -> Optional[int]:
+    """Seed-and-vote read mapping: each seed votes for the alignment
+    offset implied by its hit; the plurality offset wins.
+
+    Returns the winning reference offset or None when nothing matched.
+    """
+    k = index.k
+    stride = stride or k
+    votes: Counter = Counter()
+    for seed_start in range(0, len(read) - k + 1, stride):
+        seed = read[seed_start:seed_start + k]
+        if "N" in seed.upper():
+            continue
+        for hit in index.lookup(seed):
+            votes[hit.position - seed_start] += 1
+    if not votes:
+        return None
+    offset, count = votes.most_common(1)[0]
+    return offset if count > 0 else None

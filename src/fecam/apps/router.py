@@ -1,0 +1,157 @@
+"""Longest-prefix-match IP routing on a TCAM — the paper's classic
+network-router motivation (Sec. I).
+
+Prefixes map naturally onto ternary words (the host bits become 'X');
+longest-prefix-match priority is realized by keeping rows sorted by
+descending prefix length, so the priority encoder (lowest matching row)
+returns the most specific route — exactly how commercial router TCAMs
+operate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..designs import DesignKind
+from ..errors import OperationError
+from ..functional.engine import TernaryCAM
+
+__all__ = ["Route", "TcamRouter", "parse_cidr", "ip_to_int", "int_to_ip"]
+
+
+def ip_to_int(address: str) -> int:
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise OperationError(f"invalid IPv4 address {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise OperationError(f"invalid IPv4 octet in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_cidr(cidr: str) -> Tuple[int, int]:
+    """Parse 'a.b.c.d/len' into (network_int, prefix_len)."""
+    try:
+        address, _, length_str = cidr.partition("/")
+        length = int(length_str) if length_str else 32
+    except ValueError:
+        raise OperationError(f"invalid CIDR {cidr!r}") from None
+    if not 0 <= length <= 32:
+        raise OperationError(f"invalid prefix length in {cidr!r}")
+    network = ip_to_int(address)
+    if length < 32:
+        network &= ~((1 << (32 - length)) - 1)
+    return network, length
+
+
+@dataclass(frozen=True)
+class Route:
+    network: int
+    prefix_len: int
+    next_hop: str
+
+    def ternary_word(self) -> str:
+        bits = format(self.network, "032b")
+        return bits[:self.prefix_len] + "X" * (32 - self.prefix_len)
+
+    def covers(self, address: int) -> bool:
+        if self.prefix_len == 0:
+            return True
+        shift = 32 - self.prefix_len
+        return (address >> shift) == (self.network >> shift)
+
+
+class TcamRouter:
+    """An IPv4 forwarding table backed by a :class:`TernaryCAM`.
+
+    Routes are stored sorted by descending prefix length so the lowest
+    matching TCAM row is the longest (most specific) prefix.
+
+    >>> router = TcamRouter(capacity=16)
+    >>> router.add_route("10.0.0.0/8", "coarse")
+    >>> router.add_route("10.1.0.0/16", "fine")
+    >>> router.lookup("10.1.2.3")
+    'fine'
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 design: DesignKind = DesignKind.DG_1T5):
+        self.capacity = capacity
+        self.design = design
+        self._routes: List[Route] = []
+        self._tcam: Optional[TernaryCAM] = None
+        self._dirty = True
+
+    # -- table management -----------------------------------------------------------
+
+    def add_route(self, cidr: str, next_hop: str) -> Route:
+        if len(self._routes) >= self.capacity:
+            raise OperationError("routing table full")
+        network, length = parse_cidr(cidr)
+        route = Route(network=network, prefix_len=length, next_hop=next_hop)
+        # Replace an identical prefix if present.
+        self._routes = [r for r in self._routes
+                        if (r.network, r.prefix_len) != (network, length)]
+        self._routes.append(route)
+        self._dirty = True
+        return route
+
+    def remove_route(self, cidr: str) -> bool:
+        network, length = parse_cidr(cidr)
+        before = len(self._routes)
+        self._routes = [r for r in self._routes
+                        if (r.network, r.prefix_len) != (network, length)]
+        self._dirty = self._dirty or len(self._routes) != before
+        return len(self._routes) != before
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def _rebuild(self) -> None:
+        # Longest prefixes first => priority encoder returns LPM.
+        self._routes.sort(key=lambda r: (-r.prefix_len, r.network))
+        self._tcam = TernaryCAM(rows=max(len(self._routes), 1), width=32,
+                                design=self.design)
+        for row, route in enumerate(self._routes):
+            self._tcam.write(row, route.ternary_word())
+        self._dirty = False
+
+    # -- lookups ---------------------------------------------------------------------
+
+    def lookup(self, address: str) -> Optional[str]:
+        """TCAM longest-prefix-match lookup; returns the next hop."""
+        route = self.lookup_route(address)
+        return route.next_hop if route else None
+
+    def lookup_route(self, address: str) -> Optional[Route]:
+        if not self._routes:
+            return None
+        if self._dirty:
+            self._rebuild()
+        row = self._tcam.search_first(format(ip_to_int(address), "032b"))
+        return self._routes[row] if row is not None else None
+
+    def lookup_reference(self, address: str) -> Optional[str]:
+        """Pure-software LPM (specification for tests)."""
+        value = ip_to_int(address)
+        best: Optional[Route] = None
+        for route in self._routes:
+            if route.covers(value):
+                if best is None or route.prefix_len > best.prefix_len:
+                    best = route
+        return best.next_hop if best else None
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        if self._tcam is None:
+            return {"searches": 0, "energy_j": 0.0}
+        return {"searches": self._tcam.search_count,
+                "energy_j": self._tcam.energy_spent}

@@ -1,0 +1,24 @@
+"""Architecture-level evaluation (Eva-CAM-like): areas, wires, drivers,
+encoder, and the Table IV / Fig. 7 figure-of-merit aggregation."""
+
+from .analytical import AnalyticalEstimate, estimate_search
+from .bank import TcamMacro
+from .drivers import (DriverBank, HvDriverParams, SharedDriverMat,
+                      driver_params_for)
+from .encoder import EncoderCost, PriorityEncoder
+from .evacam import (PAPER_TABLE4, STEP1_MISS_RATE_DEFAULT, ArrayFoM,
+                     clear_cache, evaluate_array)
+from .geometry import FEATURE_AREAS, CellGeometry, cell_geometry
+from .wire import (WIRE_14NM, WireLoad, WireParams, column_wire, ml_wire,
+                   row_wire)
+
+__all__ = [
+    "CellGeometry", "cell_geometry", "FEATURE_AREAS",
+    "WireParams", "WireLoad", "WIRE_14NM", "ml_wire", "column_wire",
+    "row_wire",
+    "HvDriverParams", "DriverBank", "SharedDriverMat", "driver_params_for",
+    "PriorityEncoder", "EncoderCost",
+    "ArrayFoM", "evaluate_array", "PAPER_TABLE4", "clear_cache",
+    "STEP1_MISS_RATE_DEFAULT",
+    "AnalyticalEstimate", "estimate_search", "TcamMacro",
+]

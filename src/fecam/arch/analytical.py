@@ -1,0 +1,153 @@
+"""Closed-form latency/energy estimator — the fast Eva-CAM tier.
+
+Eva-CAM [15] (which the paper uses for parasitics) is an *analytical*
+CAM evaluation tool: no transient simulation, just RC and current-based
+expressions.  This module provides that tier for our designs so that
+architecture sweeps (word length, array size, technology what-ifs) run in
+microseconds, cross-checked against the SPICE tier by tests.
+
+Model (per search evaluation):
+
+* ML discharge delay  ``t_ml = C_ml * dV / I_pull`` with ``C_ml`` from
+  device junctions + wire and ``I_pull`` the worst-case pulldown current
+  at its operating bias;
+* SL_bar settle term for the 1.5T1Fe designs (word-length independent);
+* precharge + line-switching energy ``sum C V^2`` over toggled lines;
+* divider static energy ``I_div * V * t_window`` over conducting cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..designs import DesignKind
+from ..devices import (VDD, cell_sizing, make_fefet, nmos,
+                       operating_voltages)
+from ..errors import OperationError
+from .geometry import cell_geometry
+from .wire import WIRE_14NM
+
+__all__ = ["AnalyticalEstimate", "estimate_search"]
+
+#: SA threshold fraction (same convention as the SPICE tier).
+_DV_FRACTION = 0.5
+#: Fixed overheads (SA + sequencing), seconds.
+_T_SENSE = 60e-12
+
+
+@dataclass(frozen=True)
+class AnalyticalEstimate:
+    """Closed-form per-search estimate for one design/word length."""
+
+    design: DesignKind
+    word_length: int
+    ml_capacitance: float  # F
+    pulldown_current: float  # A
+    latency_per_eval: float  # s
+    evaluations: int  # 1 or 2 (two-step designs)
+    latency_total: float  # s
+    energy_per_bit: float  # J
+    energy_breakdown: Dict[str, float]
+
+
+def _ml_capacitance(design: DesignKind, n: int) -> float:
+    geo = cell_geometry(design)
+    wire = WIRE_14NM.capacitance(geo.width * n)
+    if design.is_one_fefet:
+        sz = cell_sizing(design)
+        # One TML junction per 2 cells.
+        junction = (n // 2) * 0.9e-9 * sz.tml_w
+    elif design.is_fefet:
+        # Two FeFET drains per cell.
+        from ..devices import fefet_params_for
+        junction = n * 2 * fefet_params_for(design).c_jd
+    else:
+        junction = n * 2 * 0.9e-9 * 40e-9  # two compare-stack junctions
+    return wire + junction
+
+
+def _pulldown_current(design: DesignKind) -> float:
+    """Worst-case single-cell ML pulldown current at its operating bias."""
+    volts = operating_voltages(design) if design.is_fefet else None
+    if design.is_one_fefet:
+        # TML driven by the worst mismatch SL_bar level.
+        from ..cam.sizing import slbar_level
+
+        sz = cell_sizing(design)
+        v_gate = min(slbar_level(design, 1.0, "0"),
+                     slbar_level(design, 0.0, "1"))
+        tml = nmos("TML", "d", "g", "s", w=sz.tml_w, l=sz.tml_l,
+                   vth=sz.tml_vth)
+        return tml.channel_current(VDD * 0.7, v_gate, 0.0)
+    if design.is_fefet:
+        fef = make_fefet(design, "F", "f", "d", "s", "b", initial_s=1.0)
+        if design.is_double_gate:
+            return fef.channel_current(0.0, VDD * 0.7, 0.0, volts.vsel)
+        return fef.channel_current(volts.vsel, VDD * 0.7, 0.0, 0.0)
+    # CMOS compare stack: two series 40 nm NMOS at 0.9 V.
+    m = nmos("M", "d", "g", "s", w=40e-9)
+    return m.channel_current(0.9 * 0.7, 0.9, 0.0) / 2.0
+
+
+def estimate_search(design: DesignKind, word_length: int = 64, *,
+                    step1_miss_rate: float = 0.9) -> AnalyticalEstimate:
+    """Closed-form search latency/energy (no transient simulation)."""
+    if word_length < 2:
+        raise OperationError("word length must be >= 2")
+    vdd = 0.9 if design is DesignKind.CMOS_16T else VDD
+    c_ml = _ml_capacitance(design, word_length)
+    i_pull = _pulldown_current(design)
+    t_ml = c_ml * (_DV_FRACTION * vdd) / i_pull
+    geo = cell_geometry(design)
+
+    breakdown: Dict[str, float] = {}
+    breakdown["ml_precharge"] = c_ml * vdd * vdd
+    # Column query lines: one cell-share each (1/M of the array column).
+    c_col = WIRE_14NM.capacitance(geo.height) * word_length
+    if design.is_one_fefet:
+        volts = operating_voltages(design)
+        sz = cell_sizing(design)
+        evaluations = 2
+        t_settle = 0.45e-9  # SL_bar settling (TP/TN-limited, N-independent)
+        t_eval = t_settle + t_ml + _T_SENSE
+        # Divider static: half the searched cells conduct ~ the TP current.
+        from ..devices import pmos as _pmos
+
+        tp = _pmos("TP", "a", "g", "b", w=sz.tp_w, l=sz.tp_l, vth=sz.tp_vth)
+        i_div = -tp.channel_current(0.1, 0.0, VDD, VDD)
+        breakdown["divider_static"] = (0.5 * (word_length / 2) * i_div
+                                       * VDD * t_eval * evaluations)
+        breakdown["query_lines"] = 2.0 * c_col * vdd * vdd
+        if design.is_double_gate:
+            from ..devices import fefet_params_for
+
+            c_sel = (WIRE_14NM.capacitance(geo.width) * word_length
+                     + (word_length // 2) * (fefet_params_for(design).c_bg
+                                             + fefet_params_for(design).c_bg_well))
+            breakdown["select_lines"] = 2.0 * c_sel * volts.vsel ** 2
+        latency_total = evaluations * t_eval + 0.3e-9
+    else:
+        evaluations = 1
+        t_eval = 0.3e-9 + t_ml + _T_SENSE
+        latency_total = t_eval
+        if design.is_fefet:
+            volts = operating_voltages(design)
+            from ..devices import fefet_params_for
+
+            p = fefet_params_for(design)
+            line_v = volts.vsel
+            c_line = c_col + word_length * (
+                (p.c_bg + p.c_bg_well) if design.is_double_gate else p.c_fg)
+            breakdown["query_lines"] = c_line * line_v ** 2
+        else:
+            breakdown["query_lines"] = 2.0 * c_col * vdd * vdd
+    breakdown["sense_amp"] = 0.5e-15 * (vdd / 0.8) ** 2
+
+    energy_total = sum(breakdown.values())
+    return AnalyticalEstimate(
+        design=design, word_length=word_length, ml_capacitance=c_ml,
+        pulldown_current=i_pull, latency_per_eval=t_eval,
+        evaluations=evaluations, latency_total=latency_total,
+        energy_per_bit=energy_total / word_length,
+        energy_breakdown=breakdown)

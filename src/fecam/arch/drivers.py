@@ -1,0 +1,147 @@
+"""High-voltage driver model and the shared-driver mat of paper Fig. 6.
+
+The DG-FeFET flavour is co-optimized so its LVT write voltage equals its
+BG read voltage (2.0 V).  Because a subarray's BLs (write) and SeLs
+(search) are perpendicular and never active simultaneously, one HV driver
+bank can serve the BLs of one subarray and the SeLs of its 90-degree
+rotated neighbour in a time-multiplexed fashion; four subarrays compose a
+mat and the driver count halves (Sec. III-B4).
+
+The driver itself is modeled at the level the paper evaluates: area per
+driver (HV transistors are big), static leakage while idle, and drive
+resistance for line-charging delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..designs import DesignKind
+from ..devices import operating_voltages
+from ..errors import OperationError
+from ..units import UM
+
+__all__ = ["HvDriverParams", "DriverBank", "SharedDriverMat",
+           "driver_params_for"]
+
+
+@dataclass(frozen=True)
+class HvDriverParams:
+    """One high-voltage line driver."""
+
+    max_voltage: float  # V it must deliver
+    area: float  # m^2
+    leakage_power: float  # W while idle
+    drive_resistance: float  # ohm when active
+
+    @property
+    def area_um2(self) -> float:
+        return self.area / UM ** 2
+
+
+def driver_params_for(design: DesignKind) -> HvDriverParams:
+    """HV driver scaled to the design's write voltage.
+
+    HV transistor area grows roughly quadratically with the voltage it
+    must withstand (drain-extension / cascode overhead); so the +/-4 V
+    SG-FeFET drivers are markedly bigger and leakier than the +/-2 V DG
+    drivers — a peripheral advantage of DG designs the paper highlights.
+    """
+    if not design.is_fefet:
+        raise OperationError("the CMOS TCAM needs no HV drivers")
+    v = operating_voltages(design).vw
+    v_ratio = v / 2.0
+    return HvDriverParams(
+        max_voltage=v,
+        area=(1.2 * v_ratio ** 2) * UM ** 2,
+        leakage_power=2e-9 * v_ratio ** 2,
+        drive_resistance=2e3 / v_ratio,
+    )
+
+
+@dataclass(frozen=True)
+class DriverBank:
+    """A bank of line drivers attached to one subarray edge."""
+
+    design: DesignKind
+    lines: int
+    params: HvDriverParams
+
+    @property
+    def area(self) -> float:
+        return self.lines * self.params.area
+
+    @property
+    def leakage_power(self) -> float:
+        return self.lines * self.params.leakage_power
+
+
+@dataclass(frozen=True)
+class SharedDriverMat:
+    """Four rotated subarrays sharing HV driver banks (paper Fig. 6a).
+
+    ``rows``/``cols`` describe one subarray.  Without sharing, each
+    subarray owns a BL bank (``cols`` write drivers) and a SeL bank
+    (``2*rows`` select drivers for SeLa/SeLb, or ``cols`` SL drivers for
+    the column-selected designs).  With sharing, adjacent subarrays
+    time-multiplex one bank for both roles, halving the driver count —
+    possible only when write and select voltages coincide
+    (``OperatingVoltages.shares_hv_level``).
+    """
+
+    design: DesignKind
+    rows: int
+    cols: int
+
+    @property
+    def _write_lines_per_subarray(self) -> int:
+        # One BL per cell column (1.5T1Fe) or two (2FeFET complementary).
+        return self.cols * (2 if not self.design.is_one_fefet else 1)
+
+    @property
+    def _select_lines_per_subarray(self) -> int:
+        if self.design is DesignKind.DG_1T5:
+            return 2 * self.rows  # SeLa/SeLb per row pair group
+        return self.cols  # column-selected designs
+
+    @property
+    def sharing_supported(self) -> bool:
+        return (self.design.is_fefet
+                and operating_voltages(self.design).shares_hv_level)
+
+    def driver_count(self, shared: bool = True) -> int:
+        per_sub = self._write_lines_per_subarray + self._select_lines_per_subarray
+        total = 4 * per_sub
+        if shared and self.sharing_supported:
+            return total // 2
+        return total
+
+    def driver_area(self, shared: bool = True) -> float:
+        return self.driver_count(shared) * driver_params_for(self.design).area
+
+    def driver_leakage(self, shared: bool = True) -> float:
+        return (self.driver_count(shared)
+                * driver_params_for(self.design).leakage_power)
+
+    def utilization(self, shared: bool = True) -> float:
+        """Fraction of drivers active during a search-or-write phase.
+
+        Unshared banks idle whenever their one role is inactive (writes
+        are rare); shared banks serve a role in every phase.
+        """
+        return 0.5 if not (shared and self.sharing_supported) else 1.0
+
+    def savings_summary(self) -> dict:
+        """Driver count/area/leakage with and without sharing."""
+        return {
+            "design": str(self.design),
+            "sharing_supported": self.sharing_supported,
+            "drivers_unshared": self.driver_count(shared=False),
+            "drivers_shared": self.driver_count(shared=True),
+            "area_unshared_um2": self.driver_area(False) / UM ** 2,
+            "area_shared_um2": self.driver_area(True) / UM ** 2,
+            "leakage_unshared_w": self.driver_leakage(False),
+            "leakage_shared_w": self.driver_leakage(True),
+            "utilization_unshared": self.utilization(False),
+            "utilization_shared": self.utilization(True),
+        }

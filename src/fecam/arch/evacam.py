@@ -1,0 +1,189 @@
+"""Array-level figure-of-merit evaluation (the Eva-CAM role, paper [15]).
+
+``evaluate_array`` aggregates the library's layers into the numbers the
+paper reports in Tab. IV and sweeps in Fig. 7: cell area, write energy,
+1-/2-step search latency and energy, and the 90 %-step-1-miss average.
+Latency/energy come from the word-level SPICE tier
+(:func:`fecam.cam.word.simulate_word_search`); area, drivers, and encoder
+from the analytical tier.  Results are cached per (design, word length)
+because the benches and tests revisit the same points.
+
+The 16T CMOS baseline reports the published silicon figures of [25]
+exactly as the paper does (write voltage 0.9 V, 0.286 um^2, 235 ps,
+0.53 fJ/bit), cross-checked by our simulated 16T word model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..designs import DesignKind
+from ..devices import operating_voltages
+from ..errors import OperationError
+from ..units import FJ, PS, UM
+from .drivers import SharedDriverMat
+from .encoder import PriorityEncoder
+from .geometry import cell_geometry
+
+# The cam tier imports arch.geometry for wire pitches, so evacam pulls the
+# cam entry points lazily inside evaluate_array to avoid a package cycle.
+
+__all__ = ["ArrayFoM", "evaluate_array", "PAPER_TABLE4", "clear_cache",
+           "STEP1_MISS_RATE_DEFAULT"]
+
+#: The paper's pessimistic real-world assumption (Sec. V-B).
+STEP1_MISS_RATE_DEFAULT = 0.90
+
+#: Paper Table IV reference values, for side-by-side reporting.
+#: (write_voltage_v, fe_thickness_nm, cell_area_um2, write_energy_fj,
+#:  latency_1step_ps, latency_total_ps, energy_1step_fj, energy_total_fj,
+#:  energy_avg_fj)
+PAPER_TABLE4 = {
+    DesignKind.CMOS_16T: dict(write_voltage="0.9V", t_fe_nm=None,
+                              cell_area_um2=0.286, write_energy_fj=None,
+                              latency_1step_ps=None, latency_total_ps=235.0,
+                              energy_1step_fj=None, energy_total_fj=0.53,
+                              energy_avg_fj=0.53),
+    DesignKind.SG_2FEFET: dict(write_voltage="+/-4V", t_fe_nm=10,
+                               cell_area_um2=0.095, write_energy_fj=1.63,
+                               latency_1step_ps=None, latency_total_ps=582.0,
+                               energy_1step_fj=None, energy_total_fj=0.17,
+                               energy_avg_fj=0.17),
+    DesignKind.DG_2FEFET: dict(write_voltage="+/-2V", t_fe_nm=5,
+                               cell_area_um2=0.204, write_energy_fj=0.81,
+                               latency_1step_ps=None, latency_total_ps=1147.0,
+                               energy_1step_fj=None, energy_total_fj=0.25,
+                               energy_avg_fj=0.25),
+    DesignKind.SG_1T5: dict(write_voltage="+/-4V, 3.2V", t_fe_nm=10,
+                            cell_area_um2=0.108, write_energy_fj=0.82,
+                            latency_1step_ps=159.0, latency_total_ps=351.0,
+                            energy_1step_fj=0.11, energy_total_fj=0.16,
+                            energy_avg_fj=0.12),
+    DesignKind.DG_1T5: dict(write_voltage="+/-2V, 1.6V", t_fe_nm=5,
+                            cell_area_um2=0.156, write_energy_fj=0.41,
+                            latency_1step_ps=231.0, latency_total_ps=481.0,
+                            energy_1step_fj=0.13, energy_total_fj=0.21,
+                            energy_avg_fj=0.14),
+}
+
+
+@dataclass(frozen=True)
+class ArrayFoM:
+    """Figures of merit for one design at one array size."""
+
+    design: DesignKind
+    rows: int
+    word_length: int
+    write_voltage: str
+    fe_thickness: Optional[float]  # m
+    cell_area: float  # m^2
+    write_energy_per_cell: float  # J
+    latency_1step: float  # s (single search step / single evaluation)
+    latency_total: float  # s (both steps for 1.5T1Fe designs)
+    search_energy_1step: float  # J per cell
+    search_energy_total: float  # J per cell (2 steps)
+    search_energy_avg: float  # J per cell at the assumed step-1 miss rate
+    macro_area: float  # m^2 incl. drivers + encoder
+    driver_count: int
+    encoder_delay: float
+
+    @property
+    def cell_area_um2(self) -> float:
+        return self.cell_area / UM ** 2
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict in the paper's units (um^2 / fJ / ps)."""
+        return {
+            "design": str(self.design),
+            "write_voltage": self.write_voltage,
+            "t_fe_nm": (None if self.fe_thickness is None
+                        else self.fe_thickness * 1e9),
+            "cell_area_um2": round(self.cell_area_um2, 4),
+            "write_energy_fj": (None if self.write_energy_per_cell is None
+                                else round(self.write_energy_per_cell / FJ, 3)),
+            "latency_1step_ps": round(self.latency_1step / PS, 1),
+            "latency_total_ps": round(self.latency_total / PS, 1),
+            "energy_1step_fj": round(self.search_energy_1step / FJ, 4),
+            "energy_total_fj": round(self.search_energy_total / FJ, 4),
+            "energy_avg_fj": round(self.search_energy_avg / FJ, 4),
+        }
+
+
+_CACHE: Dict[Tuple, ArrayFoM] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def evaluate_array(design: DesignKind, *, rows: int = 64,
+                   word_length: int = 64,
+                   step1_miss_rate: float = STEP1_MISS_RATE_DEFAULT,
+                   timings=None) -> ArrayFoM:
+    """Produce the Tab. IV row for a design at an array size.
+
+    ``step1_miss_rate`` weights the early-termination average exactly as
+    the paper does: ``E_avg = p * E_1step + (1-p) * E_2step``.
+    """
+    from ..cam.ops import WriteController
+    from ..cam.word import simulate_word_search
+
+    key = (design, rows, word_length, round(step1_miss_rate, 4), timings)
+    if key in _CACHE:
+        return _CACHE[key]
+    if not 0.0 <= step1_miss_rate <= 1.0:
+        raise OperationError("step1_miss_rate must be in [0, 1]")
+
+    geo = cell_geometry(design)
+    if design.is_fefet:
+        volts = operating_voltages(design)
+        wc = WriteController(design)
+        write_energy = wc.write_energy_per_cell()
+        t_fe = wc.params.ferro.t_fe
+        if design.is_one_fefet:
+            write_v = f"+/-{volts.vw:g}V, {volts.vm:g}V"
+        else:
+            write_v = f"+/-{volts.vw:g}V"
+    else:
+        write_energy = None
+        t_fe = None
+        write_v = "0.9V"
+
+    if design.uses_two_step_search:
+        miss1 = simulate_word_search(design, word_length, "step1_miss",
+                                     timings=timings)
+        miss2 = simulate_word_search(design, word_length, "step2_miss",
+                                     timings=timings)
+        latency_1 = miss1.latency
+        latency_2 = miss2.latency
+        e1 = miss1.energy_per_bit
+        e2 = miss2.energy_per_bit
+        e_avg = step1_miss_rate * e1 + (1.0 - step1_miss_rate) * e2
+    else:
+        miss = simulate_word_search(design, word_length, "miss",
+                                    timings=timings)
+        latency_1 = latency_2 = miss.latency
+        e1 = e2 = e_avg = miss.energy_per_bit
+    if latency_1 is None or latency_2 is None:
+        raise OperationError(
+            f"{design}: mismatch did not resolve within the eval window")
+
+    mat = (SharedDriverMat(design, rows=rows, cols=word_length)
+           if design.is_fefet else None)
+    encoder = PriorityEncoder(rows)
+    cells_area = geo.area * rows * word_length
+    driver_area = mat.driver_area(shared=True) / 4.0 if mat else 0.0
+    macro_area = cells_area + driver_area + encoder.cost().area
+
+    fom = ArrayFoM(
+        design=design, rows=rows, word_length=word_length,
+        write_voltage=write_v, fe_thickness=t_fe, cell_area=geo.area,
+        write_energy_per_cell=write_energy,
+        latency_1step=latency_1, latency_total=latency_2,
+        search_energy_1step=e1, search_energy_total=e2,
+        search_energy_avg=e_avg, macro_area=macro_area,
+        driver_count=mat.driver_count(True) if mat else 0,
+        encoder_delay=encoder.cost().delay)
+    _CACHE[key] = fom
+    return fom

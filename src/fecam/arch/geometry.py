@@ -1,0 +1,91 @@
+"""Layout-rule cell-area model (paper Tab. IV areas, Sec. V-B).
+
+The paper estimates cell areas from layouts "based on [27]", explicitly
+counting the large spacing between isolated P-wells.  We reproduce that
+accounting with a feature-based model: each cell's area is the sum of
+
+* its FeFET footprints,
+* its share of the control transistors (the 1.5T1Fe trio TP/TN/TML is
+  split across the 2-cell pair — the ".5T" bookkeeping),
+* fixed wiring/contact overhead, and
+* isolated P-well strip penalties for designs that need individual
+  back-gate control (row-wise for 1.5T1DG-Fe, column-wise double for
+  2DG-FeFET — Sec. III-B3: 2M vs 2N wells).
+
+The four feature constants below are calibrated so the model lands on the
+paper's reported areas; the *structure* (which design pays which penalty)
+is the model, the constants are the technology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..designs import DesignKind
+from ..errors import CalibrationError
+from ..units import UM
+
+__all__ = ["CellGeometry", "cell_geometry", "FEATURE_AREAS"]
+
+# Calibrated feature areas, um^2 (14 nm node, layout rules of [27]).
+FEATURE_AREAS = {
+    # One 20x50 nm FeFET footprint incl. gate contact and FE via.
+    "fefet": 0.0375,
+    # The TP/TN/TML control trio of a 2-cell pair (long-channel TN/TP).
+    "control_trio": 0.1010,
+    # Fixed per-cell wiring/contact overhead.
+    "overhead": 0.0200,
+    # Isolated P-well strip, per cell, for row-wise BG control (1.5T1DG).
+    "well_row": 0.0480,
+    # Isolated P-well strip, per cell per well, column-wise (2DG: 2 wells).
+    "well_col": 0.0545,
+    # The 16T CMOS cell in the same 14 nm node ([25]).
+    "cmos_16t": 0.2860,
+}
+
+
+@dataclass(frozen=True)
+class CellGeometry:
+    """Physical footprint of one TCAM cell."""
+
+    design: DesignKind
+    area: float  # m^2
+    aspect: float  # width / height
+
+    @property
+    def width(self) -> float:
+        """Cell width along the match line (word direction), meters."""
+        return (self.area * self.aspect) ** 0.5
+
+    @property
+    def height(self) -> float:
+        """Cell height along the search/bit lines, meters."""
+        return self.area / self.width
+
+    @property
+    def area_um2(self) -> float:
+        return self.area / UM ** 2
+
+
+def cell_geometry(design: DesignKind) -> CellGeometry:
+    """Area accounting per design (reproduces paper Tab. IV)."""
+    f = FEATURE_AREAS
+    if design is DesignKind.CMOS_16T:
+        area_um2 = f["cmos_16t"]
+        aspect = 1.0
+    elif design is DesignKind.SG_2FEFET:
+        area_um2 = 2 * f["fefet"] + f["overhead"]
+        aspect = 0.8  # two FeFETs stacked along the bit lines
+    elif design is DesignKind.DG_2FEFET:
+        area_um2 = 2 * f["fefet"] + f["overhead"] + 2 * f["well_col"]
+        aspect = 0.8
+    elif design is DesignKind.SG_1T5:
+        area_um2 = f["fefet"] + 0.5 * f["control_trio"] + f["overhead"]
+        aspect = 1.2  # long-channel TN/TP run along the word direction
+    elif design is DesignKind.DG_1T5:
+        area_um2 = (f["fefet"] + 0.5 * f["control_trio"] + f["overhead"]
+                    + f["well_row"])
+        aspect = 1.2
+    else:  # pragma: no cover - enum is closed
+        raise CalibrationError(f"unknown design {design}")
+    return CellGeometry(design=design, area=area_um2 * UM ** 2, aspect=aspect)

@@ -1,0 +1,74 @@
+"""Interconnect parasitics for a 14 nm-class metal stack.
+
+Plays the role of the Eva-CAM wire extraction the paper cites [15]: match
+lines, search lines and select lines are modeled as lumped RC loads whose
+values scale with the physical run length derived from the cell geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..designs import DesignKind
+from .geometry import cell_geometry
+
+__all__ = ["WireParams", "WIRE_14NM", "WireLoad", "ml_wire", "column_wire",
+           "row_wire"]
+
+
+@dataclass(frozen=True)
+class WireParams:
+    """Per-length interconnect constants."""
+
+    c_per_m: float  # F/m
+    r_per_m: float  # ohm/m
+
+    def capacitance(self, length: float) -> float:
+        return self.c_per_m * length
+
+    def resistance(self, length: float) -> float:
+        return self.r_per_m * length
+
+
+#: Lower-level metal at the 14 nm node: ~0.12 fF/um, ~25 ohm/um.
+WIRE_14NM = WireParams(c_per_m=0.12e-9, r_per_m=25.0e6)
+
+
+@dataclass(frozen=True)
+class WireLoad:
+    """Lumped RC of one routed line."""
+
+    length: float  # m
+    capacitance: float  # F
+    resistance: float  # ohm
+
+    @property
+    def elmore_delay(self) -> float:
+        """0.5 * R * C — distributed-line Elmore approximation (s)."""
+        return 0.5 * self.resistance * self.capacitance
+
+
+def _load(length: float, wire: WireParams = WIRE_14NM) -> WireLoad:
+    return WireLoad(length=length, capacitance=wire.capacitance(length),
+                    resistance=wire.resistance(length))
+
+
+def ml_wire(design: DesignKind, word_length: int,
+            wire: WireParams = WIRE_14NM) -> WireLoad:
+    """Match-line wire spanning ``word_length`` cells."""
+    length = cell_geometry(design).width * word_length
+    return _load(length, wire)
+
+
+def row_wire(design: DesignKind, word_length: int,
+             wire: WireParams = WIRE_14NM) -> WireLoad:
+    """A row control line (SeLa/SeLb) spanning the word."""
+    length = cell_geometry(design).width * word_length
+    return _load(length, wire)
+
+
+def column_wire(design: DesignKind, rows: int,
+                wire: WireParams = WIRE_14NM) -> WireLoad:
+    """A column line (BL/SL/Wr-SL) spanning ``rows`` cells."""
+    length = cell_geometry(design).height * rows
+    return _load(length, wire)

@@ -1,0 +1,16 @@
+"""Experiment harness: runners for every paper table/figure + reporting."""
+
+from .experiments import (ablation_divider_margins, ablation_early_termination,
+                          fig1_iv_curves, fig4_transient_waveforms,
+                          fig6_shared_driver, fig7_wordlength_sweep,
+                          table1_operations, table2_operations,
+                          table3_operations, table4_fom)
+from .report import format_table, print_experiment, ratio
+
+__all__ = [
+    "fig1_iv_curves", "fig4_transient_waveforms", "fig6_shared_driver",
+    "fig7_wordlength_sweep", "table1_operations", "table2_operations",
+    "table3_operations", "table4_fom", "ablation_early_termination",
+    "ablation_divider_margins",
+    "format_table", "print_experiment", "ratio",
+]

@@ -1,0 +1,52 @@
+"""Paper-vs-measured reporting helpers shared by all benches.
+
+Every bench prints a table whose rows pair the paper's reported value
+with our measured one, plus the ratio — the format EXPERIMENTS.md
+records.  Absolute agreement is not the goal (the paper's numbers come
+from a proprietary PDK); orderings and approximate factors are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "ratio", "print_experiment"]
+
+
+def ratio(paper: Optional[float], measured: Optional[float]) -> Optional[float]:
+    """measured / paper, or None when either side is unavailable."""
+    if paper is None or measured is None or paper == 0:
+        return None
+    return measured / paper
+
+
+def _fmt(value, digits=3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Plain-text aligned table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def print_experiment(title: str, headers: Sequence[str],
+                     rows: Iterable[Sequence]) -> str:
+    """Print and return a titled experiment table."""
+    text = f"\n=== {title} ===\n{format_table(headers, rows)}\n"
+    print(text)
+    return text

@@ -1,0 +1,32 @@
+"""TCAM cells, word/array circuits, and operation controllers (the paper's
+core contribution plus its 2FeFET and CMOS baselines)."""
+
+from .cells import (Cmos16TCompareCell, OneFeFetPairCell, TwoFeFetCell,
+                    symbol_to_fractions_2fefet)
+from .senseamp import SA_THRESHOLD_FRACTION, MlPeriphery, add_ml_periphery
+from .states import (TERNARY_SYMBOLS, first_mismatch_step, mismatch_positions,
+                     normalize_query, normalize_word, ternary_match,
+                     to_ternary, wildcard_expand)
+from .word import (SCENARIOS_SINGLE_STEP, SCENARIOS_TWO_STEP, WordSearchResult,
+                   WordTimings, scenario_content, simulate_word_search)
+from .ops import (SearchOutcome, SearchPolicy, WriteController, WriteReport,
+                  two_step_search_outcome)
+from .sizing import (DividerLevels, DividerMargins, divider_margins,
+                     explore_sizing, slbar_level)
+from .array import ArraySearchResult, TcamArrayCircuit
+
+__all__ = [
+    "TERNARY_SYMBOLS", "normalize_word", "normalize_query", "ternary_match",
+    "mismatch_positions", "first_mismatch_step", "to_ternary",
+    "wildcard_expand",
+    "OneFeFetPairCell", "TwoFeFetCell", "Cmos16TCompareCell",
+    "symbol_to_fractions_2fefet",
+    "MlPeriphery", "add_ml_periphery", "SA_THRESHOLD_FRACTION",
+    "WordTimings", "WordSearchResult", "simulate_word_search",
+    "scenario_content", "SCENARIOS_TWO_STEP", "SCENARIOS_SINGLE_STEP",
+    "WriteController", "WriteReport", "SearchPolicy", "SearchOutcome",
+    "two_step_search_outcome",
+    "DividerLevels", "DividerMargins", "divider_margins", "explore_sizing",
+    "slbar_level",
+    "ArraySearchResult", "TcamArrayCircuit",
+]

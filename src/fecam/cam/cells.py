@@ -1,0 +1,218 @@
+"""TCAM cell circuit builders for all five designs.
+
+Each builder adds the cell's devices to a :class:`fecam.spice.Circuit`
+against caller-supplied line nodes, so the same builders serve single-cell
+testbenches, reduced word models (with device multipliers), and full small
+arrays (paper Fig. 5c/d).
+
+Wiring of the proposed 1.5T1Fe 2-cell pair (paper Fig. 5a, Tab. II):
+
+* FeFET1/FeFET2: FG = BL1/BL2, BG = SeLa/SeLb (DG; grounded body for SG,
+  where BL and SeL are one merged line, Fig. 5d), drain = the shared
+  SL column, source = the pair's internal ``SL_bar`` node.
+* TN: NMOS ``SL_bar -> gnd``, gate = Wr/SL  (search '0': both at VDD,
+  divider of Eq. 2).
+* TP: PMOS ``VDD -> SL_bar``, gate = Wr/SL  (search '1': both at 0,
+  divider of Eq. 3).
+* TML: small NMOS ``ML -> gnd``, gate = SL_bar — the only ML load.
+
+The 2FeFET cell (Fig. 3) parallels two FeFETs from ML to ground; queries
+drive the BG (DG, Tab. I) or the FG (SG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..designs import DesignKind
+from ..devices import (cell_sizing, make_fefet, nmos, operating_voltages,
+                       pmos)
+from ..devices.fefet import FeFet, state_to_s
+from ..errors import NetlistError, OperationError
+from ..spice import Circuit
+from .states import normalize_word
+
+__all__ = ["OneFeFetPairCell", "TwoFeFetCell", "Cmos16TCompareCell",
+           "symbol_to_fractions_2fefet"]
+
+
+def symbol_to_fractions_2fefet(symbol: str) -> Tuple[float, float]:
+    """Map a ternary symbol to the (FeFET_A, FeFET_B) domain fractions of a
+    2FeFET cell (paper Tab. I): complementary LVT/HVT for data bits, both
+    HVT for the don't-care state."""
+    table = {"0": (0.0, 1.0), "1": (1.0, 0.0), "X": (0.0, 0.0)}
+    try:
+        return table[symbol]
+    except KeyError:
+        raise OperationError(f"invalid ternary symbol {symbol!r}") from None
+
+
+@dataclass
+class OneFeFetPairCell:
+    """A programmed 1.5T1Fe 2-cell pair in a circuit.
+
+    Holds handles to the two FeFETs (for state programming and
+    inspection) and the internal SL_bar node name.
+    """
+
+    design: DesignKind
+    prefix: str
+    fe1: FeFet
+    fe2: FeFet
+    slbar: str
+
+    @classmethod
+    def build(cls, ckt: Circuit, design: DesignKind, prefix: str, *,
+              ml: str, sl: str, wrsl: str, bl1: str, bl2: str,
+              sela: str = "0", selb: str = "0", vdd: str,
+              multiplier: float = 1.0) -> "OneFeFetPairCell":
+        """Add the pair's five devices to ``ckt``.
+
+        For the SG variant pass the merged BL/SeL line as ``bl1``/``bl2``
+        and leave ``sela``/``selb`` grounded (they are ignored by the
+        SG-FeFET model).
+        """
+        if not design.is_one_fefet:
+            raise NetlistError(f"{design} is not a 1.5T1Fe design")
+        sz = cell_sizing(design)
+        slbar = f"{prefix}.slbar"
+        bg1 = sela if design.is_double_gate else "0"
+        bg2 = selb if design.is_double_gate else "0"
+        fe1 = make_fefet(design, f"{prefix}.FE1", bl1, sl, slbar, bg1,
+                         multiplier=multiplier)
+        fe2 = make_fefet(design, f"{prefix}.FE2", bl2, sl, slbar, bg2,
+                         multiplier=multiplier)
+        ckt.add(fe1)
+        ckt.add(fe2)
+        if sz.tn_split_sw_l > 0:
+            # Split TN: small switch (gate = Wr/SL) + static-gated resistor
+            # device, so the Wr/SL edge couples only the switch's tiny
+            # gate-drain capacitance into SL_bar (see CellSizing docs).
+            mid = f"{prefix}.tnmid"
+            ckt.add(nmos(f"{prefix}.TNSW", slbar, wrsl, mid,
+                         w=sz.tn_w, l=sz.tn_split_sw_l, vth=0.35,
+                         multiplier=multiplier))
+            ckt.add(nmos(f"{prefix}.TNR", mid, vdd, "0",
+                         w=sz.tn_w, l=sz.tn_l - sz.tn_split_sw_l,
+                         vth=sz.tn_vth, multiplier=multiplier))
+        else:
+            ckt.add(nmos(f"{prefix}.TN", slbar, wrsl, "0",
+                         w=sz.tn_w, l=sz.tn_l, vth=sz.tn_vth,
+                         multiplier=multiplier))
+        ckt.add(pmos(f"{prefix}.TP", slbar, wrsl, vdd,
+                     w=sz.tp_w, l=sz.tp_l, vth=sz.tp_vth,
+                     multiplier=multiplier))
+        ckt.add(nmos(f"{prefix}.TML", ml, slbar, "0",
+                     w=sz.tml_w, l=sz.tml_l, vth=sz.tml_vth,
+                     multiplier=multiplier))
+        return cls(design=design, prefix=prefix, fe1=fe1, fe2=fe2, slbar=slbar)
+
+    def program(self, symbols: str) -> None:
+        """Instantly set the pair's two ternary states (e.g. ``"0X"``).
+
+        Electrical (pulse-driven) writes go through
+        :class:`fecam.cam.ops.WriteController`; this direct programming is
+        for search testbenches.
+        """
+        symbols = normalize_word(symbols)
+        if len(symbols) != 2:
+            raise OperationError("a 2-cell pair stores exactly 2 symbols")
+        s_x = cell_sizing(self.design).s_x
+        self.fe1.set_fraction(state_to_s(_symbol_state(symbols[0]), s_x))
+        self.fe2.set_fraction(state_to_s(_symbol_state(symbols[1]), s_x))
+
+    def stored_symbols(self) -> str:
+        s_x = cell_sizing(self.design).s_x
+        return (_state_symbol(self.fe1.state(s_x))
+                + _state_symbol(self.fe2.state(s_x)))
+
+
+def _symbol_state(symbol: str) -> str:
+    return {"0": "HVT", "1": "LVT", "X": "MVT"}[symbol]
+
+
+def _state_symbol(state: str) -> str:
+    return {"HVT": "0", "LVT": "1", "MVT": "X"}[state]
+
+
+@dataclass
+class TwoFeFetCell:
+    """A programmed 2FeFET cell (the widely adopted NV-TCAM baseline)."""
+
+    design: DesignKind
+    prefix: str
+    fe_a: FeFet
+    fe_b: FeFet
+
+    @classmethod
+    def build(cls, ckt: Circuit, design: DesignKind, prefix: str, *,
+              ml: str, line_a: str, line_b: str,
+              write_a: Optional[str] = None, write_b: Optional[str] = None,
+              multiplier: float = 1.0) -> "TwoFeFetCell":
+        """Add the two FeFETs between ML and ground.
+
+        ``line_a``/``line_b`` are the search lines: BGs for the DG flavour
+        (Tab. I, separate write BLs on the FGs), FGs for the SG flavour
+        (merged BL/SL, Fig. 3b — ``write_*`` ignored).
+        """
+        if design not in (DesignKind.SG_2FEFET, DesignKind.DG_2FEFET):
+            raise NetlistError(f"{design} is not a 2FeFET design")
+        if design.is_double_gate:
+            fg_a = write_a if write_a is not None else f"{prefix}.bla"
+            fg_b = write_b if write_b is not None else f"{prefix}.blb"
+            fe_a = make_fefet(design, f"{prefix}.FEA", fg_a, ml, "0", line_a,
+                              multiplier=multiplier)
+            fe_b = make_fefet(design, f"{prefix}.FEB", fg_b, ml, "0", line_b,
+                              multiplier=multiplier)
+        else:
+            fe_a = make_fefet(design, f"{prefix}.FEA", line_a, ml, "0", "0",
+                              multiplier=multiplier)
+            fe_b = make_fefet(design, f"{prefix}.FEB", line_b, ml, "0", "0",
+                              multiplier=multiplier)
+        ckt.add(fe_a)
+        ckt.add(fe_b)
+        return cls(design=design, prefix=prefix, fe_a=fe_a, fe_b=fe_b)
+
+    def program(self, symbol: str) -> None:
+        sa, sb = symbol_to_fractions_2fefet(normalize_word(symbol))
+        self.fe_a.set_fraction(sa)
+        self.fe_b.set_fraction(sb)
+
+    def stored_symbol(self) -> str:
+        key = (round(self.fe_a.s), round(self.fe_b.s))
+        return {(0, 1): "0", (1, 0): "1", (0, 0): "X"}.get(key, "?")
+
+
+@dataclass
+class Cmos16TCompareCell:
+    """Compare path of the 16T CMOS NOR-type TCAM cell.
+
+    The 12 SRAM transistors only store the bit; the search behaviour is
+    the two series-NMOS pulldown pairs.  Stored values arrive as node
+    voltages (ideal SRAM nodes), matching how [25]'s cell evaluates.
+    """
+
+    design: DesignKind
+    prefix: str
+    stored_d: str
+    stored_dbar: str
+
+    @classmethod
+    def build(cls, ckt: Circuit, prefix: str, *, ml: str, sl: str,
+              slbar: str, stored_d: str, stored_dbar: str,
+              multiplier: float = 1.0) -> "Cmos16TCompareCell":
+        mid_a = f"{prefix}.na"
+        mid_b = f"{prefix}.nb"
+        # Branch A: mismatch when query=1 (SL high) and stored_dbar high.
+        ckt.add(nmos(f"{prefix}.M1", ml, sl, mid_a, w=40e-9,
+                     multiplier=multiplier))
+        ckt.add(nmos(f"{prefix}.M2", mid_a, stored_dbar, "0", w=40e-9,
+                     multiplier=multiplier))
+        # Branch B: mismatch when query=0 (SLbar high) and stored_d high.
+        ckt.add(nmos(f"{prefix}.M3", ml, slbar, mid_b, w=40e-9,
+                     multiplier=multiplier))
+        ckt.add(nmos(f"{prefix}.M4", mid_b, stored_d, "0", w=40e-9,
+                     multiplier=multiplier))
+        return cls(design=DesignKind.CMOS_16T, prefix=prefix,
+                   stored_d=stored_d, stored_dbar=stored_dbar)

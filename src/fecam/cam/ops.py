@@ -1,0 +1,211 @@
+"""Write and search operation controllers.
+
+**Three-step write** (paper Sec. III-B3): the 1.5T1Fe cell stores three VT
+levels, so a word write proceeds as (1) erase every cell to HVT with -Vw,
+(2) program the '1' cells to LVT with +Vw, (3) program the 'X' cells to
+MVT with the intermediate Vm.  Step 3 uses program-and-verify pulses — the
+standard NVM practice — to land on the co-optimized MVT fraction
+``cell_sizing(design).s_x`` regardless of KAI-parameter drift.
+
+**Write energy** follows the polarization-switching charge: a full-swing
+write moves ``2*Pr*A`` of charge through the write voltage, giving the
+Table IV ladder (1.63 / 0.81 / 0.82 / 0.41 fJ): 2FeFET cells write two
+devices, 1.5T1Fe cells write one, and DG devices write at half the
+voltage.
+
+**Search** at the behavioral level applies the two-step early-termination
+policy and reports which step resolved each word — the statistics that
+drive the paper's 90 %-step-1-miss average energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..designs import DesignKind
+from ..devices import cell_sizing, fefet_params_for, operating_voltages
+from ..devices.fefet import FeFet
+from ..errors import OperationError
+from .states import (first_mismatch_step, normalize_query, normalize_word,
+                     ternary_match)
+
+__all__ = ["WriteController", "WriteReport", "SearchPolicy", "SearchOutcome",
+           "two_step_search_outcome"]
+
+
+@dataclass
+class WriteReport:
+    """Energy and step bookkeeping for one word write."""
+
+    design: DesignKind
+    word: str
+    steps: int
+    energy_total: float
+    energy_per_cell: float
+    verify_pulses: int = 0
+    energy_by_step: Dict[str, float] = field(default_factory=dict)
+
+
+class WriteController:
+    """Programs FeFETs per the paper's write tables (I, II, III)."""
+
+    #: Verify-pulse granularity for MVT programming.
+    VERIFY_PULSE = 1e-9
+    MAX_VERIFY_PULSES = 80
+    S_X_TOLERANCE = 0.03
+
+    def __init__(self, design: DesignKind):
+        if not design.is_fefet:
+            raise OperationError("the CMOS TCAM is written through SRAM ports")
+        self.design = design
+        self.volts = operating_voltages(design)
+        self.params = fefet_params_for(design)
+        self.s_x = (cell_sizing(design).s_x if design.is_one_fefet else 0.5)
+
+    # -- energy model ------------------------------------------------------------
+
+    def switching_energy(self, voltage: float, delta_s: float = 1.0, *,
+                         include_linear: bool = False) -> float:
+        """Energy to move ``delta_s`` of the domain population at a write
+        voltage: Q * V with Q = 2*Pr*A*delta_s.
+
+        The paper's Tab. IV write-energy ladder corresponds to this
+        polarization-switching component (which is why the 2SG : 2DG :
+        1.5T1SG : 1.5T1DG ratio is exactly 4 : 2 : 2 : 1); pass
+        ``include_linear=True`` to add the background-capacitance CV^2
+        term, which a driver also supplies but largely recovers on the
+        pulse's falling edge.
+        """
+        ferro = self.params.ferro
+        q_pol = 2.0 * ferro.ps * ferro.area * abs(delta_s)
+        energy = q_pol * abs(voltage)
+        if include_linear:
+            energy += ferro.c_static * voltage * voltage
+        return energy
+
+    def write_energy_per_cell(self, symbol: str = None) -> float:
+        """Average write energy per cell (paper Tab. IV convention:
+        half '0' / half '1' stored, full-swing writes)."""
+        n_fe = self.design.fefets_per_cell
+        if symbol is None:
+            return n_fe * self.switching_energy(self.volts.vw)
+        symbol = normalize_word(symbol)
+        if symbol == "X" and self.design.is_one_fefet:
+            # Erase to HVT at Vw, then partial-program at Vm.
+            return (self.switching_energy(self.volts.vw)
+                    + self.switching_energy(self.volts.vm, self.s_x))
+        return n_fe * self.switching_energy(self.volts.vw)
+
+    # -- field helpers -------------------------------------------------------------
+
+    def _field(self, voltage: float) -> float:
+        p = self.params
+        return p.kappa_fe * voltage / p.ferro.t_fe
+
+    def _pulse(self, fefet: FeFet, voltage: float, width: float) -> None:
+        fefet.layer.advance(self._field(voltage), width)
+
+    # -- three-step write ------------------------------------------------------------
+
+    def erase(self, fefet: FeFet) -> None:
+        """Step 1: -Vw pulse drives the device to HVT."""
+        self._pulse(fefet, -self.volts.vw, self.volts.t_write)
+
+    def program_one(self, fefet: FeFet) -> None:
+        """Step 2: +Vw pulse drives the device to LVT."""
+        self._pulse(fefet, +self.volts.vw, self.volts.t_write)
+
+    def program_x(self, fefet: FeFet) -> int:
+        """Step 3: Vm program-and-verify until s reaches the MVT target.
+
+        Returns the number of verify pulses used.  Raises if the target is
+        unreachable (a calibration regression).
+        """
+        target = self.s_x
+        pulses = 0
+        while fefet.layer.s < target - self.S_X_TOLERANCE:
+            self._pulse(fefet, +self.volts.vm, self.VERIFY_PULSE)
+            pulses += 1
+            if pulses > self.MAX_VERIFY_PULSES:
+                raise OperationError(
+                    f"MVT program-verify did not converge toward s={target} "
+                    f"(stuck at {fefet.layer.s:.3f})")
+        return pulses
+
+    def write_fefet(self, fefet: FeFet, symbol: str) -> int:
+        """Full write sequence for one device; returns verify pulses."""
+        self.erase(fefet)
+        if symbol == "1":
+            self.program_one(fefet)
+            return 0
+        if symbol == "X":
+            return self.program_x(fefet)
+        return 0
+
+    def write_pair(self, fe1: FeFet, fe2: FeFet, symbols: str) -> WriteReport:
+        """Write a 1.5T1Fe 2-cell pair ('0'/'1'/'X' per cell)."""
+        if not self.design.is_one_fefet:
+            raise OperationError("write_pair applies to 1.5T1Fe designs")
+        symbols = normalize_word(symbols)
+        if len(symbols) != 2:
+            raise OperationError("a pair stores exactly two symbols")
+        verify = self.write_fefet(fe1, symbols[0])
+        verify += self.write_fefet(fe2, symbols[1])
+        energy = sum(self.write_energy_per_cell(c) for c in symbols)
+        return WriteReport(design=self.design, word=symbols,
+                           steps=3 if "X" in symbols else 2,
+                           energy_total=energy, energy_per_cell=energy / 2,
+                           verify_pulses=verify)
+
+    def write_2fefet_cell(self, fe_a: FeFet, fe_b: FeFet,
+                          symbol: str) -> WriteReport:
+        """Write a 2FeFET cell (complementary states, Tab. I)."""
+        if self.design.is_one_fefet:
+            raise OperationError("write_2fefet_cell applies to 2FeFET designs")
+        symbol = normalize_word(symbol)
+        self.erase(fe_a)
+        self.erase(fe_b)
+        if symbol == "0":
+            self.program_one(fe_b)
+        elif symbol == "1":
+            self.program_one(fe_a)
+        # 'X' leaves both HVT.
+        energy = self.write_energy_per_cell(symbol)
+        return WriteReport(design=self.design, word=symbol, steps=2,
+                           energy_total=energy, energy_per_cell=energy)
+
+
+# ---------------------------------------------------------------------------
+# Two-step search policy (behavioral)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SearchPolicy:
+    """Early-termination policy knobs."""
+
+    early_termination: bool = True
+
+
+@dataclass
+class SearchOutcome:
+    """Per-word outcome of a (behavioral) two-step search."""
+
+    matched: bool
+    steps_run: int
+    resolved_in_step: int  # 0 = matched (both steps ran), 1 or 2 = miss step
+
+
+def two_step_search_outcome(stored: str, query: str,
+                            policy: SearchPolicy = SearchPolicy()) -> SearchOutcome:
+    """Apply the paper's two-step early-termination search to one word."""
+    stored = normalize_word(stored)
+    query = normalize_query(query)
+    step = first_mismatch_step(stored, query)
+    if step == 0:
+        return SearchOutcome(matched=True, steps_run=2, resolved_in_step=0)
+    if step == 1:
+        steps = 1 if policy.early_termination else 2
+        return SearchOutcome(matched=False, steps_run=steps, resolved_in_step=1)
+    return SearchOutcome(matched=False, steps_run=2, resolved_in_step=2)

@@ -1,0 +1,130 @@
+"""Ternary data types and the functional match reference.
+
+Everything that stores or searches TCAM content speaks these types:
+symbols '0', '1', 'X' (don't care) for stored cells, '0'/'1' for search
+queries.  ``ternary_match`` is the executable specification every circuit
+and behavioral implementation is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from ..errors import TernaryValueError
+
+__all__ = ["TERNARY_SYMBOLS", "normalize_word", "normalize_query",
+           "ternary_match", "mismatch_positions", "to_ternary",
+           "wildcard_expand", "first_mismatch_step"]
+
+TERNARY_SYMBOLS = ("0", "1", "X")
+
+
+def _normalize_symbol(symbol: Union[str, int], allow_x: bool) -> str:
+    if isinstance(symbol, int):
+        if symbol in (0, 1):
+            return str(symbol)
+        raise TernaryValueError(f"invalid bit {symbol!r}")
+    s = str(symbol).upper()
+    if s in ("0", "1"):
+        return s
+    if s in ("X", "*", "?") and allow_x:
+        return "X"
+    raise TernaryValueError(
+        f"invalid {'ternary' if allow_x else 'binary'} symbol {symbol!r}")
+
+
+def normalize_word(word: Union[str, Sequence]) -> str:
+    """Normalize a stored ternary word to a canonical '01X' string.
+
+    Accepts strings (``'01X'``, with ``*``/``?`` as X aliases) or sequences
+    of symbols/ints.
+    """
+    if isinstance(word, str):
+        items: Iterable = word
+    else:
+        items = word
+    symbols = [_normalize_symbol(s, allow_x=True) for s in items]
+    if not symbols:
+        raise TernaryValueError("empty ternary word")
+    return "".join(symbols)
+
+
+def normalize_query(query: Union[str, Sequence]) -> str:
+    """Normalize a binary search query to a canonical '01' string."""
+    if isinstance(query, str):
+        items: Iterable = query
+    else:
+        items = query
+    symbols = [_normalize_symbol(s, allow_x=False) for s in items]
+    if not symbols:
+        raise TernaryValueError("empty query")
+    return "".join(symbols)
+
+
+def ternary_match(stored: str, query: str) -> bool:
+    """Functional TCAM match: 'X' matches anything, else bits must agree.
+
+    This is the specification all circuit-level simulations are verified
+    against (stored/query must already be normalized, same length).
+    """
+    if len(stored) != len(query):
+        raise TernaryValueError(
+            f"length mismatch: stored {len(stored)} vs query {len(query)}")
+    return all(s == "X" or s == q for s, q in zip(stored, query))
+
+
+def mismatch_positions(stored: str, query: str) -> List[int]:
+    """Indices where the stored word conflicts with the query."""
+    if len(stored) != len(query):
+        raise TernaryValueError(
+            f"length mismatch: stored {len(stored)} vs query {len(query)}")
+    return [i for i, (s, q) in enumerate(zip(stored, query))
+            if s != "X" and s != q]
+
+
+def first_mismatch_step(stored: str, query: str) -> int:
+    """Which search step detects the first mismatch in a 1.5T1Fe word.
+
+    The 2-cell pair searches even positions (cell1) in step 1 and odd
+    positions (cell2) in step 2 (paper Sec. III-B3).  Returns 1 or 2, or
+    0 when the word matches.
+    """
+    positions = mismatch_positions(stored, query)
+    if not positions:
+        return 0
+    if any(p % 2 == 0 for p in positions):
+        return 1
+    return 2
+
+
+def to_ternary(value: int, width: int, dont_care_low: int = 0) -> str:
+    """Encode an integer as a ternary word, optionally wildcarding the
+    ``dont_care_low`` least-significant bits (prefix-match encoding)."""
+    if value < 0 or value >= (1 << width):
+        raise TernaryValueError(f"{value} does not fit in {width} bits")
+    if not 0 <= dont_care_low <= width:
+        raise TernaryValueError("dont_care_low out of range")
+    bits = format(value, f"0{width}b")
+    if dont_care_low == 0:
+        return bits
+    return bits[:width - dont_care_low] + "X" * dont_care_low
+
+
+def wildcard_expand(stored: str) -> List[str]:
+    """All binary words a ternary word matches (exponential in X count)."""
+    stored = normalize_word(stored)
+    x_count = stored.count("X")
+    if x_count > 20:
+        raise TernaryValueError("too many wildcards to expand")
+    results: List[str] = []
+    for k in range(1 << x_count):
+        word = []
+        xi = 0
+        for s in stored:
+            if s == "X":
+                word.append("1" if (k >> xi) & 1 else "0")
+                xi += 1
+            else:
+                word.append(s)
+        results.append("".join(word))
+    return results

@@ -1,0 +1,197 @@
+"""Device variability and Monte-Carlo yield analysis (DESIGN.md S12).
+
+The paper's DG-FeFET sources cite a comprehensive variability analysis
+([19]: VT sigma from domain granularity and geometry) as a key concern
+for multi-level storage — exactly what the 1.5T1Fe cell's three-state
+encoding stresses.  This module samples per-device parameter variations
+and evaluates the divider's DC sense margins over the population,
+reporting the functional-yield statistics a designer would sign off on.
+
+The variation model is the standard compact-model one:
+
+* ``sigma_vth`` — threshold shifts (RDF + work-function granularity),
+  amplified for the FE stack by domain-count statistics: the MVT state
+  is an *average* over N domains, so its VT sigma carries an extra
+  ``sqrt(s*(1-s)/n_domains) * mw_fg`` binomial term.
+* ``sigma_pr_rel`` — relative remanent-polarization spread (affects the
+  memory window, i.e. the HVT/LVT separation).
+* MOSFET ``sigma_vth`` scaled by the Pelgrom area law from a reference
+  40 x 20 nm device.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..designs import DesignKind
+from ..devices import (VDD, CellSizing, cell_sizing, make_fefet, nmos,
+                       operating_voltages, pmos)
+from ..errors import CalibrationError, OperationError
+
+__all__ = ["VariationParams", "sample_vth_shifts", "MonteCarloResult",
+           "divider_yield"]
+
+
+@dataclass(frozen=True)
+class VariationParams:
+    """Sigma set for one Monte-Carlo run."""
+
+    sigma_vth_fefet: float = 0.020  # V, FeFET VT sigma (written state)
+    sigma_pr_rel: float = 0.04  # relative Pr spread
+    n_domains: int = 80  # FE domains per 20x50 nm device
+    sigma_vth_mos_ref: float = 0.020  # V for the 40x20 nm reference MOSFET
+    mos_ref_area: float = 40e-9 * 20e-9
+
+    def __post_init__(self):
+        if self.n_domains < 1:
+            raise CalibrationError("need at least one FE domain")
+        if min(self.sigma_vth_fefet, self.sigma_pr_rel,
+               self.sigma_vth_mos_ref) < 0:
+            raise CalibrationError("sigmas must be non-negative")
+
+    def mos_sigma(self, w: float, l: float) -> float:
+        """Pelgrom scaling: sigma ~ 1/sqrt(area)."""
+        return self.sigma_vth_mos_ref * math.sqrt(
+            self.mos_ref_area / (w * l))
+
+    def fefet_state_sigma(self, s: float, mw_fg: float) -> float:
+        """VT sigma of a programmed state at domain fraction ``s``.
+
+        Combines the baseline device sigma with the binomial domain-count
+        term — largest for the intermediate MVT state, zero at full
+        polarization; this is why multi-level FeFET storage is variation
+        sensitive ([19])."""
+        binomial = math.sqrt(max(s * (1.0 - s), 0.0) / self.n_domains)
+        return math.hypot(self.sigma_vth_fefet, binomial * mw_fg)
+
+
+def sample_vth_shifts(design: DesignKind, params: VariationParams,
+                      rng: random.Random) -> Dict[str, float]:
+    """Draw one cell instance's threshold shifts (volts)."""
+    sz = cell_sizing(design)
+    from ..devices import fefet_params_for
+    mw = fefet_params_for(design).mw_fg
+    return {
+        "fe_hvt": rng.gauss(0.0, params.fefet_state_sigma(0.0, mw)),
+        "fe_lvt": rng.gauss(0.0, params.fefet_state_sigma(1.0, mw)),
+        "fe_mvt": rng.gauss(0.0, params.fefet_state_sigma(sz.s_x, mw)),
+        "tn": rng.gauss(0.0, params.mos_sigma(sz.tn_w, sz.tn_l)),
+        "tp": rng.gauss(0.0, params.mos_sigma(sz.tp_w, sz.tp_l)),
+        "tml": rng.gauss(0.0, params.mos_sigma(sz.tml_w, sz.tml_l)),
+    }
+
+
+def _slbar_with_shifts(design: DesignKind, stored_s: float, search_bit: str,
+                       shifts: Dict[str, float], pr_scale: float) -> float:
+    """SL_bar equilibrium with per-instance VT shifts applied."""
+    sz = cell_sizing(design)
+    volts = operating_voltages(design)
+    from ..devices import fefet_params_for
+
+    base = fefet_params_for(design)
+    state_key = {0.0: "fe_hvt", 1.0: "fe_lvt"}.get(stored_s, "fe_mvt")
+    fef_params = base.scaled(vth_mid=base.vth_mid + shifts[state_key],
+                             mw_fg=base.mw_fg * pr_scale)
+    from ..devices.fefet import FeFet
+
+    fef = FeFet("F", "f", "d", "s", "b", params=fef_params,
+                initial_s=stored_s)
+    if design.is_double_gate:
+        v_fg = volts.vb if search_bit == "0" else 0.0
+        v_bg = volts.vsel
+    else:
+        v_fg = volts.vsel
+        v_bg = 0.0
+    lo, hi = 0.0, VDD
+    if search_bit == "0":
+        tn = nmos("TN", "a", "g", "b", w=sz.tn_w, l=sz.tn_l,
+                  vth=sz.tn_vth + shifts["tn"])
+        for _ in range(50):
+            v = 0.5 * (lo + hi)
+            if (fef.channel_current(v_fg, VDD, v, v_bg)
+                    > tn.channel_current(v, VDD, 0.0, 0.0)):
+                lo = v
+            else:
+                hi = v
+    else:
+        tp = pmos("TP", "a", "g", "b", w=sz.tp_w, l=sz.tp_l,
+                  vth=sz.tp_vth + shifts["tp"])
+        for _ in range(50):
+            v = 0.5 * (lo + hi)
+            if (-tp.channel_current(v, 0.0, VDD, VDD)
+                    > fef.channel_current(v_fg, v, 0.0, v_bg)):
+                lo = v
+            else:
+                hi = v
+    return 0.5 * (lo + hi)
+
+
+@dataclass
+class MonteCarloResult:
+    """Population statistics of the divider margins."""
+
+    design: DesignKind
+    samples: int
+    functional: int
+    mismatch_margins: List[float] = field(repr=False, default_factory=list)
+    match_margins: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def yield_fraction(self) -> float:
+        return self.functional / self.samples if self.samples else 0.0
+
+    @property
+    def worst_mismatch_margin(self) -> float:
+        return min(self.mismatch_margins) if self.mismatch_margins else float("nan")
+
+    @property
+    def worst_match_margin(self) -> float:
+        return min(self.match_margins) if self.match_margins else float("nan")
+
+    def margin_percentile(self, q: float) -> float:
+        """q-quantile (0..1) of the per-sample worst margin."""
+        worst = sorted(min(a, b) for a, b in
+                       zip(self.mismatch_margins, self.match_margins))
+        if not worst:
+            return float("nan")
+        idx = min(int(q * len(worst)), len(worst) - 1)
+        return worst[idx]
+
+
+def divider_yield(design: DesignKind, *, samples: int = 200,
+                  params: Optional[VariationParams] = None,
+                  seed: int = 1) -> MonteCarloResult:
+    """Monte-Carlo functional yield of the 1.5T1Fe divider.
+
+    A sample is functional when both mismatch levels clear the (shifted)
+    TML threshold from above and all four match/don't-care levels from
+    below.
+    """
+    if not design.is_one_fefet:
+        raise OperationError(f"{design} has no 1.5T1Fe divider")
+    if samples < 1:
+        raise OperationError("need at least one sample")
+    params = params or VariationParams()
+    rng = random.Random(seed)
+    sz = cell_sizing(design)
+    result = MonteCarloResult(design=design, samples=samples, functional=0)
+    for _ in range(samples):
+        shifts = sample_vth_shifts(design, params, rng)
+        pr_scale = max(0.5, 1.0 + rng.gauss(0.0, params.sigma_pr_rel))
+        t = sz.tml_vth + shifts["tml"]
+        v10 = _slbar_with_shifts(design, 1.0, "0", shifts, pr_scale)
+        v01 = _slbar_with_shifts(design, 0.0, "1", shifts, pr_scale)
+        v00 = _slbar_with_shifts(design, 0.0, "0", shifts, pr_scale)
+        v11 = _slbar_with_shifts(design, 1.0, "1", shifts, pr_scale)
+        vx0 = _slbar_with_shifts(design, sz.s_x, "0", shifts, pr_scale)
+        vx1 = _slbar_with_shifts(design, sz.s_x, "1", shifts, pr_scale)
+        mis = min(v10, v01) - t
+        mat = t - max(v00, v11, vx0, vx1)
+        result.mismatch_margins.append(mis)
+        result.match_margins.append(mat)
+        if mis > 0 and mat > 0:
+            result.functional += 1
+    return result

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the fecam library.
+
+Every error raised by fecam derives from :class:`FecamError` so callers can
+catch library failures with a single ``except`` clause while still
+distinguishing simulator problems (:class:`SimulationError`) from user-input
+problems (:class:`NetlistError`, :class:`TernaryValueError`).
+"""
+
+from __future__ import annotations
+
+
+class FecamError(Exception):
+    """Base class for all fecam errors."""
+
+
+class NetlistError(FecamError):
+    """Raised when a circuit description is malformed.
+
+    Examples: duplicate element names, references to undeclared nodes,
+    non-positive resistances, or a voltage source loop.
+    """
+
+
+class SimulationError(FecamError):
+    """Raised when an analysis cannot be completed."""
+
+
+class ConvergenceError(SimulationError):
+    """Raised when Newton-Raphson fails to converge.
+
+    Carries the analysis context so the caller can report which time point
+    or sweep value failed.
+    """
+
+    def __init__(self, message: str, *, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class CalibrationError(FecamError):
+    """Raised when a device parameter set violates a physical constraint."""
+
+
+class TernaryValueError(FecamError):
+    """Raised for invalid ternary symbols or malformed ternary words."""
+
+
+class OperationError(FecamError):
+    """Raised when a CAM operation is applied in an invalid state.
+
+    Example: searching a cell that was never written, or issuing step 2 of a
+    two-step search before step 1.
+    """

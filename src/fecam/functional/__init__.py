@@ -1,0 +1,5 @@
+"""Behavioral ternary CAM engine with circuit-tier energy annotation."""
+
+from .engine import EnergyModel, SearchStats, TernaryCAM
+
+__all__ = ["TernaryCAM", "SearchStats", "EnergyModel"]

@@ -1,0 +1,241 @@
+"""Fast behavioral TCAM engine with circuit-tier energy annotation.
+
+The circuit tier (``fecam.cam``) answers *how fast / how much energy*;
+this engine answers *what does the array do* at application scale: store
+thousands of ternary words, search bit-parallel with numpy, and annotate
+each operation with per-search energy/latency pulled from the evaluated
+figures of merit of the chosen design.
+
+Words are packed into 64-bit chunks as (value, care) masks; a row matches
+iff ``(query XOR value) AND care == 0`` in every chunk — the same
+executable specification as :func:`fecam.cam.states.ternary_match`, which
+the test suite enforces by property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..designs import DesignKind
+from ..errors import OperationError, TernaryValueError
+from ..cam.states import normalize_query, normalize_word
+from ..cam.ops import SearchPolicy
+
+__all__ = ["TernaryCAM", "SearchStats", "EnergyModel"]
+
+_CHUNK = 64
+
+
+@dataclass
+class SearchStats:
+    """Statistics of one array search."""
+
+    matches: List[int]
+    rows_searched: int
+    step1_eliminated: int  # rows resolved (missed) in step 1
+    step2_misses: int
+    full_matches: int
+    energy: float  # J, early-termination aware
+    latency: float  # s, worst-case (2-step when any row needed step 2)
+
+    @property
+    def step1_miss_rate(self) -> float:
+        if self.rows_searched == 0:
+            return 0.0
+        return self.step1_eliminated / self.rows_searched
+
+
+@dataclass
+class EnergyModel:
+    """Per-bit search energies/latency for one design.
+
+    By default lazily pulled from the circuit tier
+    (:func:`fecam.arch.evaluate_array`); override the fields for
+    what-if studies without running SPICE.
+    """
+
+    design: DesignKind
+    word_length: int
+    e_1step_per_bit: Optional[float] = None
+    e_2step_per_bit: Optional[float] = None
+    latency_1step: Optional[float] = None
+    latency_2step: Optional[float] = None
+    write_energy_per_cell: Optional[float] = None
+
+    def resolve(self) -> "EnergyModel":
+        if self.e_1step_per_bit is not None:
+            return self
+        from ..arch.evacam import evaluate_array
+
+        fom = evaluate_array(self.design, word_length=self.word_length)
+        self.e_1step_per_bit = fom.search_energy_1step
+        self.e_2step_per_bit = fom.search_energy_total
+        self.latency_1step = fom.latency_1step
+        self.latency_2step = fom.latency_total
+        self.write_energy_per_cell = (fom.write_energy_per_cell or 0.0)
+        return self
+
+
+class TernaryCAM:
+    """A behavioral M x N ternary CAM.
+
+    >>> tcam = TernaryCAM(rows=4, width=8)
+    >>> tcam.write(0, "1010XXXX")
+    >>> tcam.search("10101111").matches
+    [0]
+    """
+
+    def __init__(self, rows: int, width: int,
+                 design: DesignKind = DesignKind.DG_1T5, *,
+                 policy: SearchPolicy = SearchPolicy(),
+                 energy_model: Optional[EnergyModel] = None):
+        if rows < 1 or width < 1:
+            raise OperationError("rows and width must be positive")
+        self.rows = rows
+        self.width = width
+        self.design = design
+        self.policy = policy
+        self._energy = energy_model or EnergyModel(design, width)
+        n_chunks = (width + _CHUNK - 1) // _CHUNK
+        self._n_chunks = n_chunks
+        self._value = np.zeros((rows, n_chunks), dtype=np.uint64)
+        self._care = np.zeros((rows, n_chunks), dtype=np.uint64)
+        self._valid = np.zeros(rows, dtype=bool)
+        # Masks for even (cell1/step-1) and odd (cell2/step-2) positions.
+        even, odd = self._step_masks(width, n_chunks)
+        self._even_mask = even
+        self._odd_mask = odd
+        self.search_count = 0
+        self.write_count = 0
+        self.energy_spent = 0.0
+
+    @staticmethod
+    def _step_masks(width: int, n_chunks: int):
+        even = np.zeros(n_chunks, dtype=np.uint64)
+        odd = np.zeros(n_chunks, dtype=np.uint64)
+        for pos in range(width):
+            chunk, bit = divmod(pos, _CHUNK)
+            if pos % 2 == 0:
+                even[chunk] |= np.uint64(1 << bit)
+            else:
+                odd[chunk] |= np.uint64(1 << bit)
+        return even, odd
+
+    def _pack(self, word: str):
+        value = np.zeros(self._n_chunks, dtype=np.uint64)
+        care = np.zeros(self._n_chunks, dtype=np.uint64)
+        for pos, symbol in enumerate(word):
+            chunk, bit = divmod(pos, _CHUNK)
+            if symbol == "X":
+                continue
+            care[chunk] |= np.uint64(1 << bit)
+            if symbol == "1":
+                value[chunk] |= np.uint64(1 << bit)
+        return value, care
+
+    # -- content -------------------------------------------------------------------
+
+    def write(self, row: int, word: str) -> None:
+        """Store a ternary word (costs write energy per the design)."""
+        word = normalize_word(word)
+        if len(word) != self.width:
+            raise TernaryValueError(
+                f"word length {len(word)} != array width {self.width}")
+        if not 0 <= row < self.rows:
+            raise OperationError(f"row {row} out of range")
+        self._value[row], self._care[row] = self._pack(word)
+        self._valid[row] = True
+        self.write_count += 1
+        model = self._energy.resolve()
+        self.energy_spent += (model.write_energy_per_cell or 0.0) * self.width
+
+    def erase(self, row: int) -> None:
+        self._valid[row] = False
+
+    def stored_word(self, row: int) -> Optional[str]:
+        if not self._valid[row]:
+            return None
+        symbols = []
+        for pos in range(self.width):
+            chunk, bit = divmod(pos, _CHUNK)
+            mask = np.uint64(1 << bit)
+            if not self._care[row, chunk] & mask:
+                symbols.append("X")
+            elif self._value[row, chunk] & mask:
+                symbols.append("1")
+            else:
+                symbols.append("0")
+        return "".join(symbols)
+
+    @property
+    def occupancy(self) -> int:
+        return int(self._valid.sum())
+
+    # -- search -------------------------------------------------------------------
+
+    def search(self, query: str, mask: str = None) -> SearchStats:
+        """Parallel search; returns matches plus early-termination stats.
+
+        ``mask`` is the classic TCAM *global masking register*: positions
+        marked '0' are excluded from the comparison for this search (a
+        per-search wildcard on the query side).
+        """
+        query = normalize_query(query)
+        if len(query) != self.width:
+            raise TernaryValueError(
+                f"query length {len(query)} != array width {self.width}")
+        q_value, _ = self._pack(query)
+        diff = (q_value[None, :] ^ self._value) & self._care
+        if mask is not None:
+            if len(mask) != self.width:
+                raise TernaryValueError("mask length != array width")
+            mask_bits, _ = self._pack(
+                "".join("1" if m == "1" else "0" for m in mask))
+            diff = diff & mask_bits[None, :]
+        miss_step1 = ((diff & self._even_mask[None, :]) != 0).any(axis=1)
+        miss_step2 = ((diff & self._odd_mask[None, :]) != 0).any(axis=1)
+        miss_any = miss_step1 | miss_step2
+        valid = self._valid
+        match_rows = np.nonzero(valid & ~miss_any)[0]
+
+        step1_elim = int((valid & miss_step1).sum())
+        step2_miss = int((valid & ~miss_step1 & miss_step2).sum())
+        full_match = int(len(match_rows))
+        rows_searched = int(valid.sum())
+
+        model = self._energy.resolve()
+        early = self.policy.early_termination and self.design.uses_two_step_search
+        e1 = model.e_1step_per_bit * self.width
+        e2 = model.e_2step_per_bit * self.width
+        if self.design.uses_two_step_search:
+            if early:
+                energy = step1_elim * e1 + (step2_miss + full_match) * e2
+            else:
+                energy = rows_searched * e2
+            needs_step2 = (step2_miss + full_match) > 0
+            latency = model.latency_2step if needs_step2 else model.latency_1step
+        else:
+            energy = rows_searched * e2
+            latency = model.latency_2step
+        self.search_count += 1
+        self.energy_spent += energy
+        return SearchStats(matches=[int(r) for r in match_rows],
+                           rows_searched=rows_searched,
+                           step1_eliminated=step1_elim,
+                           step2_misses=step2_miss, full_matches=full_match,
+                           energy=energy, latency=latency)
+
+    def search_first(self, query: str) -> Optional[int]:
+        """Priority-encoder semantics: lowest matching row index."""
+        matches = self.search(query).matches
+        return matches[0] if matches else None
+
+    def __len__(self) -> int:
+        return self.rows
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<TernaryCAM {self.rows}x{self.width} ({self.design}), "
+                f"{self.occupancy} valid rows>")

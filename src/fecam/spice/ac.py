@@ -1,0 +1,131 @@
+"""Small-signal AC analysis.
+
+Linearizes the circuit at its DC operating point and solves the complex
+MNA system ``(G + j*omega*C) x = b`` over a frequency sweep.  Used by the
+periphery analyses (sense-amplifier bandwidth, SL_bar divider pole) and
+as an independent check on transient time constants.
+
+The conductance matrix ``G`` is the Newton Jacobian at the operating
+point — nonlinear devices are linearized exactly as the DC solver sees
+them.  The capacitance matrix ``C`` is extracted numerically: each
+element stamps its transient companion at two timestep values and the
+difference isolates the ``C/h`` term.  This keeps every element's
+dynamic model authoritative without a separate AC stamp interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import NetlistError, SimulationError
+from .analysis import NewtonOptions, _System, operating_point
+from .elements import VoltageSource
+from .netlist import Circuit
+
+__all__ = ["ACResult", "ac_analysis"]
+
+
+@dataclass
+class ACResult:
+    """Complex node responses over frequency."""
+
+    frequencies: np.ndarray
+    responses: Dict[str, np.ndarray]  # node -> complex array
+
+    def transfer(self, node: str) -> np.ndarray:
+        try:
+            return self.responses[node]
+        except KeyError:
+            raise SimulationError(f"node {node!r} not recorded") from None
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        mag = np.abs(self.transfer(node))
+        return 20.0 * np.log10(np.maximum(mag, 1e-30))
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        return np.angle(self.transfer(node), deg=True)
+
+    def corner_frequency(self, node: str, drop_db: float = 3.0) -> Optional[float]:
+        """First frequency where the response falls ``drop_db`` below its
+        low-frequency value, or None if it never does."""
+        mag = self.magnitude_db(node)
+        target = mag[0] - drop_db
+        below = np.nonzero(mag <= target)[0]
+        if len(below) == 0:
+            return None
+        i = int(below[0])
+        if i == 0:
+            return float(self.frequencies[0])
+        # Log-linear interpolation between the straddling points.
+        f0, f1 = self.frequencies[i - 1], self.frequencies[i]
+        m0, m1 = mag[i - 1], mag[i]
+        frac = (m0 - target) / (m0 - m1) if m1 != m0 else 0.0
+        return float(f0 * (f1 / f0) ** frac)
+
+
+def _matrices_at_op(circuit: Circuit, options: NewtonOptions):
+    """Return (G, C, system, x_op): the small-signal matrices at the OP."""
+    op = operating_point(circuit, options=options)
+    system = _System(circuit, options)
+    x = op.solution
+    views = system.views_for(x)
+    # G: the DC Jacobian.
+    system.ctx.mode = "dc"
+    system.ctx.t = 0.0
+    system.ctx.h = 1.0
+    system.assemble(x, views, options.gmin)
+    g = system.ctx._j.copy()
+    # C: isolate the 1/h companion term by assembling the transient
+    # Jacobian at two step sizes: J(h) = G' + C/h  =>  C = (J(h1)-J(h2)) /
+    # (1/h1 - 1/h2).  Committed charges must match the OP first.
+    for element, view in zip(circuit.elements, views):
+        element.init_state(view)
+    h1, h2 = 1e-12, 2e-12
+    system.ctx.mode = "tran"
+    system.ctx.h = h1
+    system.assemble(x, views, options.gmin)
+    j1 = system.ctx._j.copy()
+    system.ctx.h = h2
+    system.assemble(x, views, options.gmin)
+    j2 = system.ctx._j.copy()
+    c = (j1 - j2) / (1.0 / h1 - 1.0 / h2)
+    return g, c, system, x
+
+
+def ac_analysis(circuit: Circuit, source_name: str,
+                frequencies: Sequence[float], *,
+                options: Optional[NewtonOptions] = None) -> ACResult:
+    """Unit-amplitude AC sweep injected at a voltage source.
+
+    The named source's DC level sets the operating point; its small-signal
+    amplitude is 1 V, so every node response is directly the transfer
+    function from that source.
+    """
+    options = options or NewtonOptions()
+    source = circuit.element(source_name)
+    if not isinstance(source, VoltageSource):
+        raise NetlistError(f"{source_name} is not a VoltageSource")
+    freqs = np.asarray(list(frequencies), dtype=float)
+    if len(freqs) == 0 or np.any(freqs <= 0):
+        raise SimulationError("frequencies must be positive and non-empty")
+
+    g, c, system, _ = _matrices_at_op(circuit, options)
+    n = system.n_unknowns
+    b = np.zeros(n, dtype=complex)
+    # Excite the source's branch equation (v_pos - v_neg = 1).
+    b[source._branch_index[0]] = 1.0
+
+    responses = {name: np.zeros(len(freqs), dtype=complex)
+                 for name in circuit.node_names}
+    for k, f in enumerate(freqs):
+        a = g.astype(complex) + 1j * 2.0 * np.pi * f * c
+        try:
+            x = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(f"AC solve failed at {f:.3e} Hz: {exc}")
+        for name in circuit.node_names:
+            responses[name][k] = x[circuit.node_index(name)]
+    return ACResult(frequencies=freqs, responses=responses)

@@ -1,0 +1,187 @@
+"""Analysis result containers and waveform measurements.
+
+These classes are the interface between the raw solver and everything
+downstream: delay extraction (ML discharge, SA output crossing), energy
+integration per source (write energy, search energy by driver), and final
+values for functional checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class OperatingPoint:
+    """Converged DC solution: node voltages and source branch currents."""
+
+    def __init__(self, voltages: Dict[str, float], branch_currents: Dict[str, float],
+                 solution: np.ndarray):
+        self.voltages = voltages
+        self.branch_currents = branch_currents
+        self.solution = solution
+
+    @classmethod
+    def from_solution(cls, circuit, x: np.ndarray, n_nodes: int) -> "OperatingPoint":
+        from .elements import VoltageSource
+
+        voltages = {name: float(x[circuit.node_index(name)])
+                    for name in circuit.node_names}
+        currents = {}
+        for element in circuit.elements:
+            if isinstance(element, VoltageSource):
+                currents[element.name] = float(x[element._branch_index[0]])
+        return cls(voltages, currents, x)
+
+    def voltage(self, node: str) -> float:
+        if node in ("0", "gnd"):
+            return 0.0
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise SimulationError(f"no node {node!r} in operating point") from None
+
+    def current(self, source_name: str) -> float:
+        """Branch current of a voltage source (pos -> neg through source)."""
+        try:
+            return self.branch_currents[source_name]
+        except KeyError:
+            raise SimulationError(f"no source {source_name!r} in operating point") from None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<OperatingPoint {len(self.voltages)} nodes>"
+
+
+class SweepResult:
+    """Result of a DC sweep: one operating point per swept value."""
+
+    def __init__(self, values: np.ndarray, points: List[OperatingPoint]):
+        self.values = values
+        self.points = points
+
+    def voltage(self, node: str) -> np.ndarray:
+        return np.asarray([p.voltage(node) for p in self.points])
+
+    def current(self, source_name: str) -> np.ndarray:
+        return np.asarray([p.current(source_name) for p in self.points])
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass
+class TransientResult:
+    """Recorded transient waveforms plus measurement helpers."""
+
+    t: np.ndarray
+    voltages: Dict[str, np.ndarray]
+    branch_currents: Dict[str, np.ndarray]
+    source_power: Dict[str, np.ndarray]
+
+    # -- raw access ----------------------------------------------------------
+
+    def voltage(self, node: str) -> np.ndarray:
+        if node in ("0", "gnd"):
+            return np.zeros_like(self.t)
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise SimulationError(
+                f"node {node!r} was not recorded; available: "
+                f"{sorted(self.voltages)[:8]}...") from None
+
+    def current(self, source_name: str) -> np.ndarray:
+        try:
+            return self.branch_currents[source_name]
+        except KeyError:
+            raise SimulationError(f"source {source_name!r} was not recorded") from None
+
+    def sample(self, node: str, time: float) -> float:
+        """Linearly interpolated node voltage at an arbitrary time."""
+        return float(np.interp(time, self.t, self.voltage(node)))
+
+    def final(self, node: str) -> float:
+        return float(self.voltage(node)[-1])
+
+    # -- measurements ----------------------------------------------------------
+
+    def crossing_time(self, node: str, level: float, *, rising: bool = True,
+                      after: float = 0.0) -> Optional[float]:
+        """First time the node crosses ``level`` in the given direction.
+
+        Returns ``None`` if the crossing never happens — callers decide
+        whether that is an error (e.g. expected ML discharge) or a result
+        (e.g. a match keeps ML high).
+        """
+        v = self.voltage(node)
+        t = self.t
+        mask = t >= after
+        v = v[mask]
+        t = t[mask]
+        if len(v) < 2:
+            return None
+        if rising:
+            hits = np.nonzero((v[:-1] < level) & (v[1:] >= level))[0]
+        else:
+            hits = np.nonzero((v[:-1] > level) & (v[1:] <= level))[0]
+        if len(hits) == 0:
+            return None
+        i = int(hits[0])
+        dv = v[i + 1] - v[i]
+        frac = 0.0 if dv == 0 else (level - v[i]) / dv
+        return float(t[i] + frac * (t[i + 1] - t[i]))
+
+    def delay(self, from_node: str, to_node: str, *, from_level: float,
+              to_level: float, from_rising: bool = True, to_rising: bool = True,
+              after: float = 0.0) -> Optional[float]:
+        """Propagation delay between two level crossings."""
+        t0 = self.crossing_time(from_node, from_level, rising=from_rising, after=after)
+        if t0 is None:
+            return None
+        t1 = self.crossing_time(to_node, to_level, rising=to_rising, after=t0)
+        if t1 is None:
+            return None
+        return t1 - t0
+
+    def energy(self, source_name: str, *, t_start: float = 0.0,
+               t_stop: Optional[float] = None) -> float:
+        """Energy delivered by a source over a window (trapezoid rule).
+
+        Positive values mean the source injected energy into the circuit.
+        """
+        try:
+            p = self.source_power[source_name]
+        except KeyError:
+            raise SimulationError(f"source {source_name!r} was not recorded") from None
+        t = self.t
+        t_stop = t_stop if t_stop is not None else float(t[-1])
+        mask = (t >= t_start) & (t <= t_stop)
+        if np.count_nonzero(mask) < 2:
+            return 0.0
+        return float(np.trapezoid(p[mask], t[mask]))
+
+    def total_energy(self, prefix: str = "", *, t_start: float = 0.0,
+                     t_stop: Optional[float] = None) -> float:
+        """Sum of delivered energies over all sources whose name starts with
+        ``prefix`` (empty prefix = all sources)."""
+        return sum(self.energy(name, t_start=t_start, t_stop=t_stop)
+                   for name in self.source_power if name.startswith(prefix))
+
+    def energy_by_source(self, *, t_start: float = 0.0,
+                         t_stop: Optional[float] = None) -> Dict[str, float]:
+        return {name: self.energy(name, t_start=t_start, t_stop=t_stop)
+                for name in self.source_power}
+
+    def slice(self, t_start: float, t_stop: float) -> "TransientResult":
+        """Return a copy restricted to a time window."""
+        mask = (self.t >= t_start) & (self.t <= t_stop)
+        return TransientResult(
+            t=self.t[mask],
+            voltages={k: v[mask] for k, v in self.voltages.items()},
+            branch_currents={k: v[mask] for k, v in self.branch_currents.items()},
+            source_power={k: v[mask] for k, v in self.source_power.items()},
+        )

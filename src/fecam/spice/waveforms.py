@@ -1,0 +1,160 @@
+"""Time-dependent source waveforms.
+
+Waveforms are immutable callables evaluated by the analyses at each time
+point.  They intentionally mirror the SPICE source primitives the paper's
+experiments need: DC levels, trapezoidal pulses (write/search strobes,
+precharge clocks), piecewise-linear sequences (the SeLa/SeLb two-step search
+timing of Fig. 4), and sinusoids (used only in engine self-tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..errors import NetlistError
+
+
+class Waveform:
+    """Base class: a scalar function of time in seconds."""
+
+    def value(self, t: float) -> float:
+        raise NotImplementedError
+
+    def __call__(self, t: float) -> float:
+        return self.value(t)
+
+    def shifted(self, dt: float) -> "Shifted":
+        """Return this waveform delayed by ``dt`` seconds."""
+        return Shifted(self, dt)
+
+
+class DC(Waveform):
+    """Constant level."""
+
+    def __init__(self, level: float):
+        self.level = float(level)
+
+    def value(self, t: float) -> float:
+        return self.level
+
+    def __repr__(self) -> str:
+        return f"DC({self.level})"
+
+
+class Pulse(Waveform):
+    """Trapezoidal pulse train (SPICE PULSE semantics).
+
+    Starts at ``v1``, after ``delay`` ramps to ``v2`` over ``rise``, holds for
+    ``width``, ramps back over ``fall``.  If ``period`` is given the pattern
+    repeats; otherwise it is a single pulse.
+    """
+
+    def __init__(self, v1: float, v2: float, delay: float = 0.0,
+                 rise: float = 1e-12, fall: float = 1e-12,
+                 width: float = 1e-9, period: float = 0.0):
+        if rise <= 0 or fall <= 0:
+            raise NetlistError("pulse rise/fall times must be positive")
+        if width < 0:
+            raise NetlistError("pulse width must be non-negative")
+        self.v1, self.v2 = float(v1), float(v2)
+        self.delay, self.rise, self.fall = float(delay), float(rise), float(fall)
+        self.width, self.period = float(width), float(period)
+
+    def value(self, t: float) -> float:
+        tl = t - self.delay
+        if tl < 0:
+            return self.v1
+        if self.period > 0:
+            tl = math.fmod(tl, self.period)
+        if tl < self.rise:
+            return self.v1 + (self.v2 - self.v1) * tl / self.rise
+        tl -= self.rise
+        if tl < self.width:
+            return self.v2
+        tl -= self.width
+        if tl < self.fall:
+            return self.v2 + (self.v1 - self.v2) * tl / self.fall
+        return self.v1
+
+    def __repr__(self) -> str:
+        return (f"Pulse(v1={self.v1}, v2={self.v2}, delay={self.delay}, "
+                f"rise={self.rise}, fall={self.fall}, width={self.width})")
+
+
+class PWL(Waveform):
+    """Piecewise-linear waveform from ``(time, value)`` points.
+
+    Holds the first value before the first point and the last value after
+    the last point.  Points must be strictly increasing in time.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 1:
+            raise NetlistError("PWL needs at least one point")
+        times = [float(p[0]) for p in points]
+        for a, b in zip(times, times[1:]):
+            if b <= a:
+                raise NetlistError("PWL time points must be strictly increasing")
+        self.times: List[float] = times
+        self.values: List[float] = [float(p[1]) for p in points]
+
+    def value(self, t: float) -> float:
+        times, values = self.times, self.values
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        # Linear search is fine: waveforms have a handful of points and the
+        # transient walks forward monotonically.
+        for i in range(len(times) - 1):
+            if times[i] <= t <= times[i + 1]:
+                frac = (t - times[i]) / (times[i + 1] - times[i])
+                return values[i] + frac * (values[i + 1] - values[i])
+        return values[-1]  # pragma: no cover - unreachable
+
+    def __repr__(self) -> str:
+        return f"PWL({list(zip(self.times, self.values))!r})"
+
+
+class Sine(Waveform):
+    """``offset + amplitude * sin(2*pi*freq*(t - delay))`` (engine self-tests)."""
+
+    def __init__(self, offset: float, amplitude: float, freq: float, delay: float = 0.0):
+        if freq <= 0:
+            raise NetlistError("sine frequency must be positive")
+        self.offset, self.amplitude = float(offset), float(amplitude)
+        self.freq, self.delay = float(freq), float(delay)
+
+    def value(self, t: float) -> float:
+        return self.offset + self.amplitude * math.sin(2 * math.pi * self.freq * (t - self.delay))
+
+
+class Shifted(Waveform):
+    """A waveform delayed by a constant offset."""
+
+    def __init__(self, base: Waveform, dt: float):
+        self.base, self.dt = base, float(dt)
+
+    def value(self, t: float) -> float:
+        return self.base.value(t - self.dt)
+
+
+def step_sequence(levels: Sequence[Tuple[float, float]], transition: float = 10e-12) -> PWL:
+    """Build a PWL from ``(start_time, level)`` steps with finite edges.
+
+    Each entry holds ``level`` from ``start_time`` until the next entry;
+    transitions take ``transition`` seconds.  This is the natural way to
+    express search-phase sequencing (precharge, step 1, step 2).
+    """
+    if not levels:
+        raise NetlistError("step_sequence needs at least one level")
+    points: List[Tuple[float, float]] = []
+    for i, (t_start, level) in enumerate(levels):
+        if i == 0:
+            points.append((t_start, level))
+        else:
+            prev_level = levels[i - 1][1]
+            points.append((t_start, prev_level))
+            points.append((t_start + transition, level))
+    return PWL(points)

@@ -1,0 +1,87 @@
+"""SI unit helpers and physical constants.
+
+All fecam internals work in unscaled SI units (volts, amperes, seconds,
+farads, meters).  These helpers exist so that calibration tables and tests
+can be written in the units the paper uses (nanometers, picoseconds,
+femtojoules) without sprinkling powers of ten through the code.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Scale factors: multiply a number in the named unit to get SI.
+# ---------------------------------------------------------------------------
+
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+# Length
+NM = NANO
+UM = MICRO
+
+# Time
+PS = PICO
+NS = NANO
+US = MICRO
+
+# Capacitance / energy / charge
+FF = FEMTO
+PF = PICO
+FJ = FEMTO
+AJ = ATTO
+FC = FEMTO
+
+# ---------------------------------------------------------------------------
+# Physical constants (SI)
+# ---------------------------------------------------------------------------
+
+Q_ELECTRON = 1.602176634e-19  # C
+K_BOLTZMANN = 1.380649e-23  # J/K
+EPS_0 = 8.8541878128e-12  # F/m
+EPS_SIO2 = 3.9 * EPS_0
+EPS_HFO2 = 25.0 * EPS_0  # ferroelectric HfO2 relative permittivity ~ 25-30
+ROOM_TEMPERATURE = 300.0  # K
+
+
+def thermal_voltage(temperature: float = ROOM_TEMPERATURE) -> float:
+    """Return kT/q in volts at the given temperature in kelvin."""
+    return K_BOLTZMANN * temperature / Q_ELECTRON
+
+
+def to_unit(value_si: float, unit: float) -> float:
+    """Convert an SI value to the given unit scale (e.g. ``to_unit(t, PS)``)."""
+    return value_si / unit
+
+
+def from_unit(value: float, unit: float) -> float:
+    """Convert a value in the given unit scale to SI."""
+    return value * unit
+
+
+def format_si(value: float, unit_symbol: str, digits: int = 3) -> str:
+    """Format an SI value with an engineering prefix, e.g. ``1.23 fJ``.
+
+    Chooses the prefix that puts the mantissa in [1, 1000).  Zero and
+    non-finite values are printed without a prefix.
+    """
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"),
+        (1e-15, "f"), (1e-18, "a"),
+    ]
+    if value == 0 or value != value or value in (float("inf"), float("-inf")):
+        return f"{value:.{digits}g} {unit_symbol}"
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit_symbol}"
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit_symbol}"

@@ -1,0 +1,113 @@
+"""Tests for approximate (Hamming) matching and the one-shot classifier."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fecam.apps import HammingSearcher, OneShotClassifier, hamming_distance
+from fecam.errors import OperationError, TernaryValueError
+
+
+class TestHammingDistance:
+    def test_basics(self):
+        assert hamming_distance("1010", "1010") == 0
+        assert hamming_distance("1010", "1000") == 1
+        assert hamming_distance("1111", "0000") == 4
+
+    def test_wildcards_are_free(self):
+        assert hamming_distance("1XX0", "1110") == 0
+        assert hamming_distance("XXXX", "1010") == 0
+
+    def test_length_check(self):
+        with pytest.raises(TernaryValueError):
+            hamming_distance("10", "100")
+
+
+class TestHammingSearcher:
+    def _searcher(self):
+        h = HammingSearcher(rows=4, width=8)
+        h.store(0, "11110000")
+        h.store(1, "11111111")
+        h.store(2, "0000XXXX")
+        h.store(3, "01010101")
+        return h
+
+    def test_exact_hit_at_distance_zero(self):
+        h = self._searcher()
+        assert h.nearest("11110000") == (0, 0)
+
+    def test_nearest_expands_radius(self):
+        h = self._searcher()
+        row, dist = h.nearest("11110010")
+        assert (row, dist) == (0, 1)
+
+    def test_wildcards_attract(self):
+        h = self._searcher()
+        assert h.nearest("00001100") == (2, 0)
+
+    def test_search_within_returns_sorted(self):
+        h = self._searcher()
+        hits = h.search_within("11110001", 2)
+        assert hits[0] == (0, 1)
+        assert all(d <= 2 for _, d in hits)
+        distances = [d for _, d in hits]
+        assert distances == sorted(distances)
+
+    def test_max_distance_bound(self):
+        h = self._searcher()
+        assert h.nearest("00110011", max_distance=0) is None
+
+    def test_negative_distance_rejected(self):
+        h = self._searcher()
+        with pytest.raises(OperationError):
+            h.search_within("11110000", -1)
+
+    def test_matches_reference_on_random_content(self):
+        rng = random.Random(17)
+        h = HammingSearcher(rows=6, width=10)
+        for row in range(6):
+            h.store(row, "".join(rng.choice("01X") for _ in range(10)))
+        for _ in range(25):
+            query = "".join(rng.choice("01") for _ in range(10))
+            got = h.nearest(query)
+            ref = h.nearest_reference(query)
+            assert got is not None and ref is not None
+            assert got[1] == ref[1]  # same distance (ties may differ by row)
+
+
+class TestOneShotClassifier:
+    def test_learn_and_classify(self):
+        clf = OneShotClassifier(width=8)
+        clf.learn("cat", "1100XX00")
+        clf.learn("dog", "0011XX11")
+        assert clf.classify("11001100") == "cat"
+        assert clf.classify("00110011") == "dog"
+
+    def test_noisy_features_still_classify(self):
+        clf = OneShotClassifier(width=8)
+        clf.learn("a", "11111111")
+        clf.learn("b", "00000000")
+        assert clf.classify("11101111") == "a"  # 1-bit noise
+        assert clf.classify("00010000") == "b"
+
+    def test_capacity(self):
+        clf = OneShotClassifier(width=4, capacity=1)
+        clf.learn("only", "1010")
+        with pytest.raises(OperationError):
+            clf.learn("extra", "0101")
+
+    def test_max_distance_rejects_outliers(self):
+        clf = OneShotClassifier(width=8)
+        clf.learn("a", "11111111")
+        assert clf.classify("00000000", max_distance=2) is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from("01"), min_size=6, max_size=6),
+       st.lists(st.sampled_from("01"), min_size=6, max_size=6))
+def test_distance_symmetry_on_binary_words(a_bits, b_bits):
+    """For binary (no-X) words the distance is symmetric."""
+    a, b = "".join(a_bits), "".join(b_bits)
+    assert hamming_distance(a, b) == hamming_distance(b, a)

@@ -1,0 +1,67 @@
+"""Smoke tests for the experiment runners (shape of returned data).
+
+The benches assert the paper's claims; these tests just pin the runner
+interfaces so EXPERIMENTS.md regeneration cannot silently break.
+"""
+
+import pytest
+
+from fecam.bench import (ablation_divider_margins, ablation_early_termination,
+                         fig1_iv_curves, fig6_shared_driver, format_table,
+                         print_experiment, ratio, table4_fom)
+from fecam.designs import DesignKind
+
+
+class TestRunners:
+    def test_fig1_structure(self):
+        data = fig1_iv_curves(points=7)
+        assert set(data) == {"sg_fg_read", "dg_bg_read"}
+        for curve in data.values():
+            assert len(curve["v"]) == 7
+            assert len(curve["i_hvt"]) == len(curve["i_lvt"]) == 7
+        assert data["dg_bg_read"]["on_off_at_2v"] > 1e3
+
+    def test_table4_covers_all_designs(self):
+        rows = table4_fom(rows=64, word_length=16)
+        assert len(rows) == len(DesignKind)
+        for entry in rows:
+            assert set(entry) == {"design", "paper", "measured"}
+            assert entry["measured"]["cell_area_um2"] > 0
+
+    def test_fig6_rows(self):
+        rows = fig6_shared_driver(rows=32, cols=32)
+        assert len(rows) == 4
+        by = {r["design"]: r for r in rows}
+        assert by["1.5T1DG-Fe"]["sharing_supported"]
+
+    def test_ablation_early_termination_monotone(self):
+        rows = ablation_early_termination(miss_rates=(0.0, 0.5, 1.0),
+                                          word_length=16)
+        for design in ("1.5T1SG-Fe", "1.5T1DG-Fe"):
+            series = [r["saving_pct"] for r in rows if r["design"] == design]
+            assert series == sorted(series)
+
+    def test_ablation_divider(self):
+        rows = ablation_divider_margins()
+        assert all(r["functional"] for r in rows)
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bbbb"], [[1, 2.5], ["xx", None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+        assert "-" in lines[1]
+        assert "2.5" in text and "xx" in text
+
+    def test_ratio(self):
+        assert ratio(2.0, 3.0) == pytest.approx(1.5)
+        assert ratio(None, 3.0) is None
+        assert ratio(0.0, 3.0) is None
+
+    def test_print_experiment_returns_text(self, capsys):
+        text = print_experiment("T", ["h"], [[1]])
+        captured = capsys.readouterr()
+        assert "=== T ===" in text
+        assert text in captured.out + "\n" or "T" in captured.out

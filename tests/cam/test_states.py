@@ -1,0 +1,117 @@
+"""Tests for ternary data types and the functional match specification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fecam.cam import (first_mismatch_step, mismatch_positions,
+                       normalize_query, normalize_word, ternary_match,
+                       to_ternary, wildcard_expand)
+from fecam.errors import TernaryValueError
+
+words = st.text(alphabet="01X", min_size=1, max_size=24)
+
+
+class TestNormalize:
+    def test_word_accepts_aliases(self):
+        assert normalize_word("0*1?x") == "0X1XX"
+
+    def test_word_accepts_sequences(self):
+        assert normalize_word([0, 1, "X"]) == "01X"
+
+    def test_query_rejects_x(self):
+        with pytest.raises(TernaryValueError):
+            normalize_query("01X")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TernaryValueError):
+            normalize_word("")
+        with pytest.raises(TernaryValueError):
+            normalize_query([])
+
+    def test_bad_symbols_rejected(self):
+        with pytest.raises(TernaryValueError):
+            normalize_word("012")
+        with pytest.raises(TernaryValueError):
+            normalize_word([2])
+
+
+class TestMatch:
+    def test_exact_match(self):
+        assert ternary_match("0101", "0101")
+
+    def test_mismatch(self):
+        assert not ternary_match("0101", "0111")
+
+    def test_wildcards_match_anything(self):
+        assert ternary_match("XXXX", "0110")
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(TernaryValueError):
+            ternary_match("01", "011")
+
+    def test_mismatch_positions(self):
+        assert mismatch_positions("0X10", "0110") == []
+        assert mismatch_positions("0010", "0110") == [1]
+        assert mismatch_positions("1111", "0000") == [0, 1, 2, 3]
+
+
+class TestFirstMismatchStep:
+    def test_match_is_step_zero(self):
+        assert first_mismatch_step("01X", "010") == 0
+
+    def test_even_position_is_step_one(self):
+        assert first_mismatch_step("0101", "1101") == 1
+
+    def test_odd_position_is_step_two(self):
+        assert first_mismatch_step("0101", "0001") == 2
+
+    def test_both_positions_resolve_in_step_one(self):
+        assert first_mismatch_step("0101", "1001") == 1
+
+
+class TestEncodings:
+    def test_to_ternary_plain(self):
+        assert to_ternary(5, 4) == "0101"
+
+    def test_to_ternary_prefix(self):
+        assert to_ternary(0b1100, 4, dont_care_low=2) == "11XX"
+
+    def test_to_ternary_range_checks(self):
+        with pytest.raises(TernaryValueError):
+            to_ternary(16, 4)
+        with pytest.raises(TernaryValueError):
+            to_ternary(1, 4, dont_care_low=5)
+
+    def test_wildcard_expand(self):
+        assert sorted(wildcard_expand("1X0")) == ["100", "110"]
+        assert wildcard_expand("11") == ["11"]
+
+    def test_wildcard_expand_limit(self):
+        with pytest.raises(TernaryValueError):
+            wildcard_expand("X" * 21)
+
+
+@settings(max_examples=60, deadline=None)
+@given(words)
+def test_expansion_matches_spec(stored):
+    """Every expansion of a ternary word matches it; siblings don't
+    necessarily, but non-expansions with a differing cared bit never do."""
+    stored = normalize_word(stored)
+    if stored.count("X") > 8:
+        stored = stored.replace("X", "1")
+    for binary in wildcard_expand(stored):
+        assert ternary_match(stored, binary)
+
+
+@settings(max_examples=60, deadline=None)
+@given(words, st.integers(min_value=0, max_value=2 ** 24 - 1))
+def test_first_mismatch_step_consistent(stored, seed):
+    """first_mismatch_step == 0 exactly when the word matches."""
+    stored = normalize_word(stored)
+    query = format(seed % (2 ** len(stored)), f"0{len(stored)}b")
+    step = first_mismatch_step(stored, query)
+    assert (step == 0) == ternary_match(stored, query)
+    if step:
+        positions = mismatch_positions(stored, query)
+        assert (step == 1) == any(p % 2 == 0 for p in positions)

@@ -1,0 +1,233 @@
+"""Tests for the SG/DG FeFET compact model (paper Fig. 1 facts)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fecam.designs import DesignKind
+from fecam.devices import (FeFet, dg_fefet_params, make_fefet, s_to_state,
+                           sg_fefet_params, state_to_s)
+from fecam.errors import CalibrationError
+from fecam.spice import (Capacitor, Circuit, Pulse, Resistor,
+                         TransientOptions, VoltageSource, transient)
+
+
+def dg(s=0.0, name="FDG"):
+    return FeFet(name, "fg", "d", "s", "bg", params=dg_fefet_params(), initial_s=s)
+
+
+def sg(s=0.0, name="FSG"):
+    return FeFet(name, "fg", "d", "s", "bg", params=sg_fefet_params(), initial_s=s)
+
+
+class TestStateMapping:
+    def test_state_to_s(self):
+        assert state_to_s("HVT") == 0.0
+        assert state_to_s("LVT") == 1.0
+        assert state_to_s("MVT", s_mvt=0.76) == 0.76
+
+    def test_unknown_state(self):
+        with pytest.raises(CalibrationError):
+            state_to_s("XVT")
+
+    def test_s_to_state_roundtrip(self):
+        for state in ("HVT", "MVT", "LVT"):
+            assert s_to_state(state_to_s(state, 0.7), 0.7) == state
+
+    def test_set_state_updates_vth(self):
+        f = dg()
+        f.set_state("LVT")
+        vth_lvt = f.vth
+        f.set_state("HVT")
+        assert f.vth - vth_lvt == pytest.approx(f.params.mw_fg)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(CalibrationError):
+            dg().set_fraction(1.2)
+
+
+class TestMemoryWindows:
+    """The four device-level facts of paper Fig. 1."""
+
+    def test_sg_fg_memory_window_is_1p8(self):
+        p = sg_fefet_params()
+        assert p.vth_eff(0.0) - p.vth_eff(1.0) == pytest.approx(1.8)
+
+    def test_dg_bg_memory_window_is_2p7(self):
+        p = dg_fefet_params()
+        assert p.vth_bg(0.0) - p.vth_bg(1.0) == pytest.approx(2.7)
+
+    def test_dg_fg_window_smaller_than_bg(self):
+        p = dg_fefet_params()
+        assert p.mw_fg < p.mw_bg
+
+    def test_bg_read_degrades_subthreshold_slope(self):
+        p = dg_fefet_params()
+        assert p.subthreshold_swing_bg == pytest.approx(
+            p.subthreshold_swing_fg / p.k_bg)
+        assert p.subthreshold_swing_bg > 2.5 * p.subthreshold_swing_fg
+
+    def test_fe_thickness_matches_paper(self):
+        assert sg_fefet_params().ferro.t_fe == pytest.approx(10e-9)
+        assert dg_fefet_params().ferro.t_fe == pytest.approx(5e-9)
+
+    def test_on_off_ratio_at_shared_level(self):
+        # Sec. III-B4: ~1e4-level ON/OFF at the co-optimized 2.0 V.
+        i_on = dg(1.0).channel_current(0.0, 0.8, 0.0, 2.0)
+        i_off = dg(0.0).channel_current(0.0, 0.8, 0.0, 2.0)
+        assert 1e3 < i_on / i_off < 1e7
+        assert i_on > 1e-6
+
+    def test_sg_read_separates_states(self):
+        i_lvt = sg(1.0).channel_current(0.8, 0.8, 0.0, 0.0)
+        i_hvt = sg(0.0).channel_current(0.8, 0.8, 0.0, 0.0)
+        assert i_lvt / i_hvt > 1e3
+
+    def test_bg_threshold_shifts_with_fg_bias(self):
+        # The Vb trick of Tab. II: a small FG bias lowers the BG-referred VT.
+        p = dg_fefet_params()
+        assert p.vth_bg(1.0, v_fg_bias=0.25) < p.vth_bg(1.0, v_fg_bias=0.0)
+
+    def test_sg_has_no_bg(self):
+        p = sg_fefet_params()
+        assert math.isnan(p.mw_bg)
+        assert math.isnan(p.vth_bg(1.0))
+        # BG voltage must not influence the SG channel.
+        f = sg(1.0)
+        assert f.channel_current(0.8, 0.8, 0.0, 0.0) == pytest.approx(
+            f.channel_current(0.8, 0.8, 0.0, 2.0))
+
+
+class TestIVCurves:
+    def test_dg_bg_sweep_monotonic(self):
+        f = dg(1.0)
+        curr = [f.channel_current(0.0, 0.8, 0.0, v) for v in np.linspace(-1, 4, 26)]
+        assert all(b >= a - 1e-15 for a, b in zip(curr, curr[1:]))
+
+    def test_leakage_floor_visible(self):
+        # Deep-off current is the floor, not the ideal exponential.
+        i = dg(0.0).channel_current(0.0, 0.8, 0.0, -1.0)
+        assert i == pytest.approx(1e-10, rel=0.2)
+
+    def test_jacobian_matches_numeric(self):
+        f = dg(0.76)
+        for bias in [(0.25, 0.8, 0.3, 2.0), (0.0, 0.4, 0.0, 2.0),
+                     (0.8, 0.8, 0.0, 0.0), (2.0, 0.0, 0.0, 0.0)]:
+            vfg, vd, vs, vbg = bias
+            ids, g_fg, g_d, g_s, g_bg = f._ids_and_derivs(vfg, vd, vs, vbg)
+            d = 1e-7
+            assert g_fg == pytest.approx(
+                (f._ids_and_derivs(vfg + d, vd, vs, vbg)[0] - ids) / d,
+                rel=1e-3, abs=1e-12)
+            assert g_d == pytest.approx(
+                (f._ids_and_derivs(vfg, vd + d, vs, vbg)[0] - ids) / d,
+                rel=1e-3, abs=1e-12)
+            assert g_s == pytest.approx(
+                (f._ids_and_derivs(vfg, vd, vs + d, vbg)[0] - ids) / d,
+                rel=1e-3, abs=1e-12)
+            assert g_bg == pytest.approx(
+                (f._ids_and_derivs(vfg, vd, vs, vbg + d)[0] - ids) / d,
+                rel=1e-3, abs=1e-12)
+
+    def test_read_resistance_ordering(self):
+        """R_ON(LVT) < R(MVT) < R_OFF(HVT) at the DG search bias (Eq. 1)."""
+        s_x = 0.76
+        r_on = dg(1.0).read_resistance(0.0, 2.0, 0.4)
+        r_m = dg(s_x).read_resistance(0.0, 2.0, 0.4)
+        r_off = dg(0.0).read_resistance(0.0, 2.0, 0.4)
+        assert r_on < r_m < r_off
+        assert r_off / r_on > 1e3
+
+
+class TestWriteTransient:
+    """Electrical writes through the spice engine."""
+
+    def _write_circuit(self, fefet, v_pulse, width=10e-9):
+        ckt = Circuit("write")
+        ckt.add(VoltageSource("VBL", "fg", "0",
+                              Pulse(0.0, v_pulse, delay=1e-9, rise=0.5e-9,
+                                    fall=0.5e-9, width=width)))
+        # Source/drain/BG grounded through the write path (Tab. II: write
+        # config keeps channel terminals at ground).
+        ckt.add(Resistor("RD", "d", "0", 100.0))
+        ckt.add(Resistor("RS", "s", "0", 100.0))
+        ckt.add(VoltageSource("VBG", "bg", "0", 0.0))
+        ckt.add(fefet)
+        return ckt
+
+    def test_positive_write_sets_lvt(self):
+        f = dg(0.0)
+        ckt = self._write_circuit(f, +2.0)
+        transient(ckt, 13e-9, options=TransientOptions(dt=0.1e-9))
+        assert f.s > 0.95
+        assert f.state(0.76) == "LVT"
+
+    def test_negative_write_sets_hvt(self):
+        f = dg(1.0)
+        ckt = self._write_circuit(f, -2.0)
+        transient(ckt, 13e-9, options=TransientOptions(dt=0.1e-9))
+        assert f.s < 0.05
+
+    def test_vm_write_lands_midway(self):
+        f = dg(0.0)
+        ckt = self._write_circuit(f, +1.6, width=19.3e-9)
+        transient(ckt, 22e-9, options=TransientOptions(dt=0.2e-9))
+        assert 0.55 < f.s < 0.9
+
+    def test_half_voltage_does_not_disturb(self):
+        # Array write inhibit: unselected cells see at most Vw/2.
+        f = dg(0.0)
+        ckt = self._write_circuit(f, +1.0)
+        transient(ckt, 13e-9, options=TransientOptions(dt=0.1e-9))
+        assert f.s < 0.01
+
+    def test_write_energy_near_2PrAVw(self):
+        # The BL source must supply the polarization switching charge:
+        # E ~= 2*Pr*A*Vw (+ small CV^2) ~= 0.4 fJ for the DG write.
+        f = dg(0.0)
+        ckt = self._write_circuit(f, +2.0)
+        result = transient(ckt, 13e-9, options=TransientOptions(dt=0.05e-9))
+        e_bl = result.energy("VBL")
+        q_pol = 2 * f.params.ferro.ps * f.params.ferro.area
+        assert e_bl == pytest.approx(q_pol * 2.0, rel=0.35)
+
+    def test_sg_write_at_4v(self):
+        f = sg(0.0)
+        ckt = self._write_circuit(f, +4.0)
+        transient(ckt, 13e-9, options=TransientOptions(dt=0.1e-9))
+        assert f.s > 0.95
+
+
+class TestReadDisturb:
+    def test_sg_accumulates_disturb(self):
+        f = sg(0.0)  # HVT cell read many times
+        s_after = f.apply_read_disturb(n_reads=1_000_000)
+        assert s_after > 0.15  # material drift after 1M reads
+
+    def test_dg_is_disturb_free(self):
+        f = dg(0.0)
+        assert f.apply_read_disturb(n_reads=10_000_000) == 0.0
+
+    def test_disturb_direction(self):
+        f = sg(1.0)
+        f.apply_read_disturb(n_reads=1000, direction=-1.0)
+        assert f.layer.s < 1.0
+
+    def test_disturb_is_monotone_in_reads(self):
+        f1, f2 = sg(0.0), sg(0.0)
+        a = f1.apply_read_disturb(n_reads=1000)
+        b = f2.apply_read_disturb(n_reads=100000)
+        assert b > a
+
+
+@settings(max_examples=30, deadline=None)
+@given(s=st.floats(min_value=0.0, max_value=1.0),
+       vbg=st.floats(min_value=0.0, max_value=4.0))
+def test_current_monotone_in_polarization(s, vbg):
+    """Property: more 'up' polarization never decreases the read current."""
+    lo = dg(max(0.0, s - 0.1)).channel_current(0.0, 0.8, 0.0, vbg)
+    hi = dg(min(1.0, s + 0.1)).channel_current(0.0, 0.8, 0.0, vbg)
+    assert hi >= lo - 1e-15

@@ -1,0 +1,201 @@
+"""Tests for the ferroelectric polarization model (KAI/NLS kinetics)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fecam.devices import FerroParams, FerroelectricLayer
+from fecam.errors import CalibrationError
+
+# Fields corresponding to the paper's write levels through a 5 nm layer
+# with kappa = 0.85: E(2.0 V) = 3.4e8 V/m, E(1.6 V) = 2.72e8 V/m.
+E_WRITE = 0.85 * 2.0 / 5e-9
+E_VM = 0.85 * 1.6 / 5e-9
+E_READ = 0.85 * 0.4 / 5e-9  # a typical read-level residual field
+
+
+def layer(s=0.0):
+    return FerroelectricLayer(FerroParams(t_fe=5e-9), s=s)
+
+
+class TestKinetics:
+    def test_tau_decreases_with_field(self):
+        l = layer()
+        taus = [l.tau(e) for e in np.linspace(1e8, 5e8, 9)]
+        assert all(b <= a for a, b in zip(taus, taus[1:]))
+
+    def test_tau_infinite_at_zero_field(self):
+        assert math.isinf(layer().tau(0.0))
+
+    def test_write_field_switches_fast(self):
+        assert layer().tau(E_WRITE) < 5e-9
+
+    def test_read_field_is_frozen(self):
+        # Read-level fields must not move polarization on any realistic
+        # timescale (non-volatility / disturb-free DG read).
+        assert layer().tau(E_READ) > 1e6  # over a week
+
+    def test_intermediate_field_is_slow_but_finite(self):
+        t = layer().tau(E_VM)
+        assert 5e-9 < t < 100e-9
+
+    def test_full_write_pulse_saturates(self):
+        l = layer(s=0.0)
+        l.advance(E_WRITE, 10e-9)
+        assert l.s > 0.98
+
+    def test_negative_write_erases(self):
+        l = layer(s=1.0)
+        l.advance(-E_WRITE, 10e-9)
+        assert l.s < 0.02
+
+    def test_vm_pulse_partially_switches(self):
+        # The MVT programming pulse: lands mid-range, neither off nor full.
+        l = layer(s=0.0)
+        l.advance(E_VM, 10e-9)
+        assert 0.3 < l.s < 0.75
+
+    def test_preview_does_not_mutate(self):
+        l = layer(s=0.0)
+        preview = l.preview(E_WRITE, 10e-9)
+        assert preview > 0.9
+        assert l.s == 0.0
+
+    def test_advance_composes_like_preview(self):
+        l1 = layer(s=0.2)
+        p = l1.preview(E_WRITE, 2e-9)
+        l1.advance(E_WRITE, 2e-9)
+        assert l1.s == pytest.approx(p)
+
+    def test_two_half_pulses_equal_one_full(self):
+        # Exact exponential update => exact composition at constant field.
+        l1, l2 = layer(), layer()
+        l1.advance(E_VM, 10e-9)
+        l2.advance(E_VM, 5e-9)
+        l2.advance(E_VM, 5e-9)
+        assert l1.s == pytest.approx(l2.s, rel=1e-9)
+
+    def test_zero_dt_is_identity(self):
+        l = layer(s=0.37)
+        l.advance(E_WRITE, 0.0)
+        assert l.s == 0.37
+
+
+class TestObservables:
+    def test_polarization_range(self):
+        p = FerroParams()
+        assert FerroelectricLayer(p, s=0.0).polarization == pytest.approx(-p.ps)
+        assert FerroelectricLayer(p, s=1.0).polarization == pytest.approx(p.ps)
+        assert FerroelectricLayer(p, s=0.5).polarization == pytest.approx(0.0)
+
+    def test_switching_charge(self):
+        p = FerroParams()
+        l = FerroelectricLayer(p)
+        q_full = l.switching_charge(0.0, 1.0)
+        assert q_full == pytest.approx(2 * p.ps * p.area)
+        assert l.switching_charge(0.25, 0.75) == pytest.approx(q_full / 2)
+
+    def test_charge_includes_linear_term(self):
+        p = FerroParams()
+        l = FerroelectricLayer(p, s=0.5)
+        q0 = l.charge(0.0)
+        q1 = l.charge(1.0)
+        assert q1 - q0 == pytest.approx(p.c_static)
+
+    def test_paper_write_energy_scale(self):
+        # 2*Pr*A*Vw should be ~0.4 fJ at 2 V (Table IV, 1.5T1DG-Fe write).
+        p = FerroParams()
+        l = FerroelectricLayer(p)
+        energy = l.switching_charge(0.0, 1.0) * 2.0
+        assert energy == pytest.approx(0.41e-15, rel=0.05)
+
+    def test_effective_coercive_field(self):
+        l = layer()
+        ec_10ns = l.effective_coercive_field(10e-9)
+        # The coercive field for a 10 ns pulse sits between the Vm and Vw
+        # fields — that is exactly what makes partial programming work.
+        assert E_VM < ec_10ns < E_WRITE * 1.2
+        # Longer pulses lower the apparent coercive field (NLS signature).
+        assert l.effective_coercive_field(1e-6) < ec_10ns
+
+
+class TestHysteresisLoop:
+    def test_loop_is_hysteretic(self):
+        l = layer(s=0.0)
+        e, p = l.sweep_loop(e_peak=5e8, period=100e-9)
+        e, p = np.asarray(e), np.asarray(p)
+        # At zero crossing, the loop's two branches must differ (remanence).
+        ups = p[np.abs(e) < 2e7]
+        assert ups.max() - ups.min() > 0.5 * l.params.ps
+
+    def test_loop_saturates_at_peaks(self):
+        l = layer(s=0.0)
+        e, p = l.sweep_loop(e_peak=6e8, period=200e-9)
+        p = np.asarray(p)
+        assert p.max() > 0.9 * l.params.ps
+        assert p.min() < -0.9 * l.params.ps
+
+    def test_loop_bounded_by_saturation(self):
+        l = layer(s=0.3)
+        _, p = l.sweep_loop(e_peak=8e8, period=50e-9)
+        assert max(abs(x) for x in p) <= l.params.ps + 1e-12
+
+    def test_fast_sweep_widens_loop(self):
+        # Rate dependence: faster sweeps show a larger apparent coercive
+        # field. Compare the positive-going zero-polarization crossing.
+        def coercive(period):
+            l = layer(s=1.0)
+            e, p = l.sweep_loop(e_peak=6e8, period=period)
+            e, p = np.asarray(e), np.asarray(p)
+            # Find where p crosses 0 while e is rising in the last cycle.
+            n = len(e) // 2
+            for i in range(n, len(e) - 1):
+                if p[i] < 0 <= p[i + 1] and e[i + 1] > e[i]:
+                    return e[i]
+            return None
+
+        slow = coercive(1e-6)
+        fast = coercive(50e-9)
+        assert slow is not None and fast is not None
+        assert fast > slow
+
+
+class TestValidation:
+    def test_bad_fraction(self):
+        with pytest.raises(CalibrationError):
+            FerroelectricLayer(FerroParams(), s=1.5)
+
+    def test_bad_params(self):
+        with pytest.raises(CalibrationError):
+            FerroParams(ps=-0.1)
+        with pytest.raises(CalibrationError):
+            FerroParams(tau0=0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    s0=st.floats(min_value=0.0, max_value=1.0),
+    e=st.floats(min_value=-6e8, max_value=6e8),
+    dt=st.floats(min_value=1e-12, max_value=1e-6),
+)
+def test_fraction_always_bounded(s0, e, dt):
+    """Property: the domain fraction never leaves [0, 1]."""
+    l = layer(s=s0)
+    l.advance(e, dt)
+    assert 0.0 <= l.s <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    s0=st.floats(min_value=0.0, max_value=1.0),
+    e=st.floats(min_value=1e7, max_value=6e8),
+    dt=st.floats(min_value=1e-12, max_value=1e-3),
+)
+def test_positive_field_never_decreases_s(s0, e, dt):
+    """Property: a positive field can only move polarization up."""
+    l = layer(s=s0)
+    l.advance(e, dt)
+    assert l.s >= s0 - 1e-12

@@ -1,0 +1,204 @@
+"""Unit and property tests for the EKV MOSFET compact model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fecam.devices import Mosfet, MosfetParams, ekv_f, ekv_f_prime, nmos, pmos, softplus
+from fecam.errors import CalibrationError
+from fecam.spice import Circuit, Resistor, VoltageSource, operating_point
+from fecam.units import thermal_voltage
+
+
+class TestEkvHelpers:
+    def test_softplus_limits(self):
+        assert softplus(100.0) == pytest.approx(100.0)
+        assert softplus(-100.0) == pytest.approx(0.0, abs=1e-20)
+        assert softplus(0.0) == pytest.approx(math.log(2.0))
+
+    def test_f_positive_and_increasing(self):
+        us = np.linspace(-30, 30, 121)
+        fs = [ekv_f(u) for u in us]
+        assert all(f >= 0 for f in fs)
+        assert all(b >= a for a, b in zip(fs, fs[1:]))
+
+    def test_f_prime_matches_numeric(self):
+        for u in (-10.0, -1.0, 0.0, 1.0, 10.0):
+            d = 1e-6
+            numeric = (ekv_f(u + d) - ekv_f(u - d)) / (2 * d)
+            assert ekv_f_prime(u) == pytest.approx(numeric, rel=1e-5)
+
+    def test_strong_inversion_quadratic(self):
+        # F(u) -> (u/2)^2 for large u.
+        assert ekv_f(40.0) == pytest.approx(400.0, rel=0.05)
+
+
+class TestMosfetCurrents:
+    def test_off_when_gate_low(self):
+        m = nmos("M1", "d", "g", "s")
+        assert m.channel_current(0.8, 0.0, 0.0) < 1e-9
+
+    def test_on_when_gate_high(self):
+        m = nmos("M1", "d", "g", "s")
+        assert m.channel_current(0.8, 0.8, 0.0) > 1e-5
+
+    def test_monotonic_in_vgs(self):
+        m = nmos("M1", "d", "g", "s")
+        currents = [m.channel_current(0.8, vg, 0.0)
+                    for vg in np.linspace(0, 1.0, 21)]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    def test_monotonic_in_vds(self):
+        m = nmos("M1", "d", "g", "s")
+        currents = [m.channel_current(vd, 0.8, 0.0)
+                    for vd in np.linspace(0, 0.8, 17)]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    def test_zero_vds_zero_current(self):
+        m = nmos("M1", "d", "g", "s")
+        assert m.channel_current(0.0, 0.8, 0.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_reverse_conduction_antisymmetric(self):
+        # Swapping source and drain flips the current sign (EKV symmetry).
+        m = nmos("M1", "d", "g", "s")
+        fwd = m.channel_current(0.4, 0.8, 0.0)
+        rev = m.channel_current(0.0, 0.8, 0.4)
+        assert fwd == pytest.approx(-rev, rel=1e-9)
+
+    def test_subthreshold_slope(self):
+        # I(vg) should change by 10x per n*Vt*ln(10) in weak inversion.
+        m = nmos("M1", "d", "g", "s", vth=0.35)
+        ss = m.params.subthreshold_swing
+        i1 = m.channel_current(0.8, 0.10, 0.0)
+        i2 = m.channel_current(0.8, 0.10 + ss, 0.0)
+        assert i2 / i1 == pytest.approx(10.0, rel=0.05)
+
+    def test_pmos_mirrors_nmos(self):
+        n = nmos("M1", "d", "g", "s", w=80e-9)
+        p = pmos("M2", "d", "g", "s", w=80e-9)
+        i_n = n.channel_current(0.8, 0.8, 0.0)
+        i_p = p.channel_current(-0.8, -0.8, 0.0)
+        assert i_p < 0
+        # PMOS has about half the per-width drive.
+        assert abs(i_p) == pytest.approx(i_n * 1.4 / 3.0, rel=0.05)
+
+    def test_multiplier_scales_current(self):
+        m1 = nmos("M1", "d", "g", "s")
+        m4 = nmos("M4", "d", "g", "s", multiplier=4.0)
+        assert m4.channel_current(0.8, 0.8, 0.0) == pytest.approx(
+            4.0 * m1.channel_current(0.8, 0.8, 0.0), rel=1e-12)
+
+    def test_width_scales_current(self):
+        m1 = nmos("M1", "d", "g", "s", w=40e-9)
+        m2 = nmos("M2", "d", "g", "s", w=80e-9)
+        assert m2.channel_current(0.8, 0.8, 0.0) == pytest.approx(
+            2.0 * m1.channel_current(0.8, 0.8, 0.0), rel=1e-12)
+
+    def test_on_resistance_reasonable(self):
+        # 40 nm NMOS at full gate drive: a few kOhm to tens of kOhm.
+        m = nmos("M1", "d", "g", "s")
+        r = m.on_resistance(0.8)
+        assert 1e3 < r < 1e5
+
+    def test_drive_current_density(self):
+        # ~0.5-1 mA/um at VDD — a 14 nm-class figure.
+        m = nmos("M1", "d", "g", "s", w=100e-9)
+        i = m.channel_current(0.8, 0.8, 0.0)
+        density = i / 100e-9  # A/m
+        assert 300 < density < 1500  # A/m == uA/um
+
+
+class TestMosfetJacobian:
+    @pytest.mark.parametrize("bias", [
+        (0.8, 0.8, 0.0, 0.0), (0.4, 0.5, 0.1, 0.0),
+        (0.05, 0.8, 0.0, 0.0), (0.8, 0.2, 0.0, 0.0),
+        (0.3, 0.6, 0.3, 0.0),
+    ])
+    def test_analytic_derivatives_match_numeric(self, bias):
+        m = nmos("M1", "d", "g", "s")
+        vd, vg, vs, vb = bias
+        ids, g_dd, g_dg, g_ds = m._ids_and_derivs(vd, vg, vs, vb)
+        d = 1e-7
+        num_dd = (m._ids_and_derivs(vd + d, vg, vs, vb)[0] - ids) / d
+        num_dg = (m._ids_and_derivs(vd, vg + d, vs, vb)[0] - ids) / d
+        num_ds = (m._ids_and_derivs(vd, vg, vs + d, vb)[0] - ids) / d
+        assert g_dd == pytest.approx(num_dd, rel=1e-3, abs=1e-12)
+        assert g_dg == pytest.approx(num_dg, rel=1e-3, abs=1e-12)
+        assert g_ds == pytest.approx(num_ds, rel=1e-3, abs=1e-12)
+
+
+class TestMosfetInCircuit:
+    def test_nmos_pulldown_divider(self):
+        # NMOS with gate at VDD pulls a resistor-loaded node low.
+        ckt = Circuit("inv")
+        ckt.add(VoltageSource("VDD", "vdd", "0", 0.8))
+        ckt.add(Resistor("RL", "vdd", "out", 100e3))
+        ckt.add(nmos("MN", "out", "vdd", "0"))
+        op = operating_point(ckt)
+        assert op.voltage("out") < 0.1
+
+    def test_cmos_inverter_transfer(self):
+        def inverter_out(v_in):
+            ckt = Circuit("cmos-inv")
+            ckt.add(VoltageSource("VDD", "vdd", "0", 0.8))
+            ckt.add(VoltageSource("VIN", "in", "0", v_in))
+            ckt.add(pmos("MP", "out", "in", "vdd"))
+            ckt.add(nmos("MN", "out", "in", "0"))
+            return operating_point(ckt).voltage("out")
+
+        assert inverter_out(0.0) > 0.75
+        assert inverter_out(0.8) < 0.05
+        mid = inverter_out(0.4)
+        assert 0.1 < mid < 0.7
+
+
+class TestValidation:
+    def test_bad_polarity(self):
+        with pytest.raises(CalibrationError):
+            MosfetParams(polarity=0, vth=0.3)
+
+    def test_bad_geometry(self):
+        with pytest.raises(CalibrationError):
+            MosfetParams(polarity=1, vth=0.3, w=-1e-9)
+
+    def test_bad_multiplier(self):
+        with pytest.raises(CalibrationError):
+            nmos("M", "d", "g", "s", multiplier=0.0)
+
+    def test_bad_slope_factor(self):
+        with pytest.raises(CalibrationError):
+            MosfetParams(polarity=1, vth=0.3, n=0.9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    vg=st.floats(min_value=0.0, max_value=1.2),
+    vd=st.floats(min_value=0.0, max_value=1.2),
+    vs=st.floats(min_value=0.0, max_value=0.4),
+)
+def test_current_sign_follows_vds(vg, vd, vs):
+    """Property: current direction always matches the drain-source polarity."""
+    m = nmos("M1", "d", "g", "s")
+    i = m.channel_current(vd, vg, vs)
+    if vd > vs + 1e-9:
+        assert i >= -1e-15
+    elif vd < vs - 1e-9:
+        assert i <= 1e-15
+
+
+@settings(max_examples=40, deadline=None)
+@given(vg=st.floats(min_value=-0.5, max_value=1.5))
+def test_gate_leakage_free(vg):
+    """Property: the gate never sources/sinks DC current (stamp symmetry)."""
+    # Build a floating-gate-driver circuit: if the model injected DC gate
+    # current, the 1 GOhm gate resistor would show a big voltage drop.
+    ckt = Circuit("gate")
+    ckt.add(VoltageSource("VG", "gdrv", "0", vg))
+    ckt.add(Resistor("RG", "gdrv", "g", 1e9))
+    ckt.add(VoltageSource("VD", "d", "0", 0.8))
+    ckt.add(nmos("MN", "d", "g", "0"))
+    op = operating_point(ckt)
+    assert op.voltage("g") == pytest.approx(vg, abs=2e-3)

@@ -1,0 +1,159 @@
+"""Tests for the behavioral TCAM engine (numpy bit-parallel matcher)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fecam.cam import SearchPolicy, ternary_match
+from fecam.designs import DesignKind
+from fecam.errors import OperationError, TernaryValueError
+from fecam.functional import EnergyModel, TernaryCAM
+
+
+def fast_model(width):
+    """Energy model with fixed numbers — keeps tests free of SPICE runs."""
+    return EnergyModel(DesignKind.DG_1T5, width, e_1step_per_bit=1e-15,
+                       e_2step_per_bit=2e-15, latency_1step=1e-9,
+                       latency_2step=2e-9, write_energy_per_cell=0.4e-15)
+
+
+def make(rows=8, width=8, **kw):
+    return TernaryCAM(rows=rows, width=width, design=DesignKind.DG_1T5,
+                      energy_model=fast_model(width), **kw)
+
+
+class TestBasics:
+    def test_write_and_readback(self):
+        t = make()
+        t.write(0, "1010XX01")
+        assert t.stored_word(0) == "1010XX01"
+        assert t.stored_word(1) is None
+        assert t.occupancy == 1
+
+    def test_search_finds_matches(self):
+        t = make()
+        t.write(0, "1010XXXX")
+        t.write(3, "XXXXXXXX")
+        stats = t.search("10101111")
+        assert stats.matches == [0, 3]
+
+    def test_search_first_priority(self):
+        t = make()
+        t.write(2, "11111111")
+        t.write(5, "1111XXXX")
+        assert t.search_first("11111111") == 2
+        assert t.search_first("11110000") == 5
+        assert t.search_first("00000000") is None
+
+    def test_erase(self):
+        t = make()
+        t.write(0, "11111111")
+        t.erase(0)
+        assert t.search("11111111").matches == []
+
+    def test_validation(self):
+        t = make()
+        with pytest.raises(TernaryValueError):
+            t.write(0, "101")  # wrong width
+        with pytest.raises(OperationError):
+            t.write(99, "10101010")
+        with pytest.raises(TernaryValueError):
+            t.search("101")
+        with pytest.raises(OperationError):
+            TernaryCAM(rows=0, width=4)
+
+    def test_wide_words_use_multiple_chunks(self):
+        t = TernaryCAM(rows=2, width=150, design=DesignKind.DG_1T5,
+                       energy_model=fast_model(150))
+        word = ("10X" * 50)
+        t.write(0, word)
+        assert t.stored_word(0) == word
+        query = word.replace("X", "0")
+        assert t.search(query).matches == [0]
+        flipped = "0" + query[1:]
+        assert t.search(flipped).matches == []
+
+
+class TestEarlyTerminationStats:
+    def test_step1_vs_step2_classification(self):
+        t = make(rows=3, width=4)
+        t.write(0, "0000")  # mismatch at even position 0 for query 1000
+        t.write(1, "1100")  # mismatches only at odd position 1 -> step 2
+        t.write(2, "10XX")  # match
+        stats = t.search("1000")
+        assert stats.step1_eliminated == 1
+        assert stats.step2_misses == 1
+        assert stats.full_matches == 1
+        assert stats.matches == [2]
+
+    def test_energy_accounting_with_early_termination(self):
+        t = make(rows=2, width=8)
+        t.write(0, "00000000")  # step-1 miss vs 1111...
+        t.write(1, "11111111")  # match
+        stats = t.search("11111111")
+        # one row at 1-step energy + one at 2-step energy
+        assert stats.energy == pytest.approx((1e-15 + 2e-15) * 8)
+
+    def test_energy_without_early_termination(self):
+        t = TernaryCAM(rows=2, width=8, design=DesignKind.DG_1T5,
+                       energy_model=fast_model(8),
+                       policy=SearchPolicy(early_termination=False))
+        t.write(0, "00000000")
+        t.write(1, "11111111")
+        stats = t.search("11111111")
+        assert stats.energy == pytest.approx(2e-15 * 8 * 2)
+
+    def test_latency_reflects_steps(self):
+        t = make(rows=1, width=8)
+        t.write(0, "00000000")
+        assert t.search("10000000").latency == pytest.approx(1e-9)  # 1-step
+        t2 = make(rows=1, width=8)
+        t2.write(0, "11111111")
+        assert t2.search("11111111").latency == pytest.approx(2e-9)
+
+    def test_counters_accumulate(self):
+        t = make()
+        t.write(0, "XXXXXXXX")
+        e0 = t.energy_spent
+        t.search("00000000")
+        assert t.search_count == 1
+        assert t.energy_spent > e0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from("01X"), min_size=6, max_size=6),
+       st.lists(st.sampled_from("01"), min_size=6, max_size=6))
+def test_engine_matches_specification(stored_syms, query_bits):
+    """Property: the packed numpy matcher equals ternary_match exactly."""
+    stored = "".join(stored_syms)
+    query = "".join(query_bits)
+    t = TernaryCAM(rows=1, width=6, design=DesignKind.DG_1T5,
+                   energy_model=fast_model(6))
+    t.write(0, stored)
+    hit = t.search(query).matches == [0]
+    assert hit == ternary_match(stored, query)
+
+
+class TestGlobalMask:
+    """The global masking register (per-search wildcards on the query)."""
+
+    def test_masked_positions_ignored(self):
+        t = make()
+        t.write(0, "11110000")
+        assert t.search("11110011").matches == []
+        assert t.search("11110011", mask="11111100").matches == [0]
+
+    def test_all_masked_matches_everything(self):
+        t = make(rows=3)
+        t.write(0, "10101010")
+        t.write(1, "01010101")
+        stats = t.search("11111111", mask="0" * 8)
+        assert stats.matches == [0, 1]
+
+    def test_mask_length_checked(self):
+        t = make()
+        t.write(0, "11110000")
+        import pytest as _pytest
+        from fecam.errors import TernaryValueError as _TVE
+        with _pytest.raises(_TVE):
+            t.search("11110000", mask="111")

@@ -1,0 +1,91 @@
+"""AC small-signal analysis tests against closed-form filter answers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from fecam.devices import nmos, pmos
+from fecam.errors import NetlistError, SimulationError
+from fecam.spice import (Capacitor, Circuit, Resistor, VoltageSource,
+                         ac_analysis)
+
+
+def rc_lowpass(r=1e3, c=1e-12):
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("VIN", "in", "0", 0.0))
+    ckt.add(Resistor("R1", "in", "out", r))
+    ckt.add(Capacitor("C1", "out", "0", c))
+    return ckt
+
+
+class TestRCLowpass:
+    def test_corner_frequency(self):
+        res = ac_analysis(rc_lowpass(), "VIN", np.logspace(6, 11, 120))
+        fc = res.corner_frequency("out")
+        assert fc == pytest.approx(1.0 / (2 * math.pi * 1e-9), rel=0.05)
+
+    def test_dc_gain_unity(self):
+        res = ac_analysis(rc_lowpass(), "VIN", [1e3])
+        assert abs(res.transfer("out")[0]) == pytest.approx(1.0, rel=1e-3)
+
+    def test_rolloff_20db_per_decade(self):
+        res = ac_analysis(rc_lowpass(), "VIN", [1e10, 1e11])
+        mags = res.magnitude_db("out")
+        assert mags[0] - mags[1] == pytest.approx(20.0, abs=1.0)
+
+    def test_phase_approaches_minus90(self):
+        res = ac_analysis(rc_lowpass(), "VIN", [1e11])
+        assert res.phase_deg("out")[0] == pytest.approx(-90.0, abs=5.0)
+
+    def test_divider_is_flat(self):
+        ckt = Circuit("div")
+        ckt.add(VoltageSource("VIN", "in", "0", 0.0))
+        ckt.add(Resistor("R1", "in", "mid", 1e3))
+        ckt.add(Resistor("R2", "mid", "0", 3e3))
+        res = ac_analysis(ckt, "VIN", np.logspace(3, 9, 20))
+        mags = np.abs(res.transfer("mid"))
+        assert np.allclose(mags, 0.75, rtol=1e-3)
+
+
+class TestNonlinearLinearization:
+    def test_inverter_gain_at_midrail(self):
+        """A CMOS inverter biased near its trip point shows small-signal
+        gain > 1 — the OP-linearized G matrix carries the transistor gm."""
+        ckt = Circuit("inv")
+        ckt.add(VoltageSource("VDD", "vdd", "0", 0.8))
+        ckt.add(VoltageSource("VIN", "in", "0", 0.40))  # near the trip point
+        ckt.add(pmos("MP", "out", "in", "vdd"))
+        ckt.add(nmos("MN", "out", "in", "0"))
+        ckt.add(Capacitor("CL", "out", "0", 1e-15))
+        res = ac_analysis(ckt, "VIN", [1e6])
+        assert abs(res.transfer("out")[0]) > 1.5
+
+    def test_inverter_bandwidth_finite(self):
+        ckt = Circuit("inv")
+        ckt.add(VoltageSource("VDD", "vdd", "0", 0.8))
+        ckt.add(VoltageSource("VIN", "in", "0", 0.40))
+        ckt.add(pmos("MP", "out", "in", "vdd"))
+        ckt.add(nmos("MN", "out", "in", "0"))
+        ckt.add(Capacitor("CL", "out", "0", 10e-15))
+        res = ac_analysis(ckt, "VIN", np.logspace(6, 12, 60))
+        fc = res.corner_frequency("out")
+        assert fc is not None
+        assert 1e7 < fc < 1e11
+
+
+class TestValidation:
+    def test_non_source_rejected(self):
+        with pytest.raises(NetlistError):
+            ac_analysis(rc_lowpass(), "R1", [1e6])
+
+    def test_bad_frequencies(self):
+        with pytest.raises(SimulationError):
+            ac_analysis(rc_lowpass(), "VIN", [])
+        with pytest.raises(SimulationError):
+            ac_analysis(rc_lowpass(), "VIN", [-1e6])
+
+    def test_unrecorded_node(self):
+        res = ac_analysis(rc_lowpass(), "VIN", [1e6])
+        with pytest.raises(SimulationError):
+            res.transfer("nope")

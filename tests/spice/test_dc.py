@@ -1,0 +1,164 @@
+"""DC operating-point and sweep tests with analytically known answers."""
+
+import numpy as np
+import pytest
+
+from fecam.errors import NetlistError, SimulationError
+from fecam.spice import (Circuit, CurrentSource, Diode, Resistor, Switch,
+                         VoltageSource, dc_sweep, operating_point)
+from fecam.units import thermal_voltage
+
+
+def divider(r_top=1e3, r_bot=3e3, v_in=1.0):
+    ckt = Circuit("divider")
+    ckt.add(VoltageSource("VIN", "in", "0", v_in))
+    ckt.add(Resistor("RT", "in", "mid", r_top))
+    ckt.add(Resistor("RB", "mid", "0", r_bot))
+    return ckt
+
+
+class TestResistiveCircuits:
+    def test_divider_voltage(self):
+        op = operating_point(divider())
+        assert op.voltage("mid") == pytest.approx(0.75, rel=1e-6)
+
+    def test_divider_source_current(self):
+        op = operating_point(divider())
+        # 1 V across 4 kOhm; current through the source is -250 uA with the
+        # pos->neg branch convention (source delivering).
+        assert op.current("VIN") == pytest.approx(-0.25e-3, rel=1e-6)
+
+    def test_ground_always_zero(self):
+        op = operating_point(divider())
+        assert op.voltage("0") == 0.0
+        assert op.voltage("gnd") == 0.0
+
+    def test_series_parallel_network(self):
+        ckt = Circuit("net")
+        ckt.add(VoltageSource("V1", "a", "0", 10.0))
+        ckt.add(Resistor("R1", "a", "b", 1e3))
+        ckt.add(Resistor("R2", "b", "0", 2e3))
+        ckt.add(Resistor("R3", "b", "0", 2e3))
+        # R2 || R3 = 1k, so v(b) = 5 V.
+        op = operating_point(ckt)
+        assert op.voltage("b") == pytest.approx(5.0, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        ckt = Circuit("isrc")
+        # 1 mA pulled from ground through the source into node a.
+        ckt.add(CurrentSource("I1", "0", "a", 1e-3))
+        ckt.add(Resistor("R1", "a", "0", 1e3))
+        op = operating_point(ckt)
+        assert op.voltage("a") == pytest.approx(1.0, rel=1e-5)
+
+    def test_two_sources_superpose(self):
+        ckt = Circuit("two")
+        ckt.add(VoltageSource("V1", "a", "0", 2.0))
+        ckt.add(VoltageSource("V2", "b", "0", 1.0))
+        ckt.add(Resistor("R1", "a", "m", 1e3))
+        ckt.add(Resistor("R2", "b", "m", 1e3))
+        ckt.add(Resistor("R3", "m", "0", 1e30 if False else 1e12))
+        op = operating_point(ckt)
+        assert op.voltage("m") == pytest.approx(1.5, rel=1e-4)
+
+    def test_floating_node_settles_via_gmin(self):
+        ckt = Circuit("float")
+        ckt.add(VoltageSource("V1", "a", "0", 1.0))
+        ckt.add(Resistor("R1", "a", "b", 1e3))
+        # Node c has no DC path except gmin; should solve without error.
+        ckt.add(Resistor("R2", "b", "c", 1e3))
+        op = operating_point(ckt)
+        assert np.isfinite(op.voltage("c"))
+
+    def test_unknown_node_raises(self):
+        op = operating_point(divider())
+        with pytest.raises(SimulationError):
+            op.voltage("nope")
+        with pytest.raises(SimulationError):
+            op.current("nope")
+
+
+class TestDiode:
+    def test_forward_drop_near_expected(self):
+        ckt = Circuit("diode")
+        ckt.add(VoltageSource("V1", "a", "0", 5.0))
+        ckt.add(Resistor("R1", "a", "d", 1e3))
+        ckt.add(Diode("D1", "d", "0"))
+        op = operating_point(ckt)
+        vd = op.voltage("d")
+        assert 0.55 < vd < 0.85
+
+    def test_diode_equation_consistency(self):
+        ckt = Circuit("diode")
+        ckt.add(VoltageSource("V1", "a", "0", 5.0))
+        ckt.add(Resistor("R1", "a", "d", 1e3))
+        d = Diode("D1", "d", "0", i_sat=1e-14)
+        ckt.add(d)
+        op = operating_point(ckt)
+        vd = op.voltage("d")
+        i_resistor = (5.0 - vd) / 1e3
+        i_diode = 1e-14 * (np.exp(vd / thermal_voltage()) - 1.0)
+        assert i_diode == pytest.approx(i_resistor, rel=1e-3)
+
+    def test_reverse_bias_blocks(self):
+        ckt = Circuit("diode-rev")
+        ckt.add(VoltageSource("V1", "a", "0", -5.0))
+        ckt.add(Resistor("R1", "a", "d", 1e3))
+        ckt.add(Diode("D1", "d", "0"))
+        op = operating_point(ckt)
+        # Almost the full -5 V appears across the blocking diode.
+        assert op.voltage("d") == pytest.approx(-5.0, abs=0.05)
+
+
+class TestSwitch:
+    def test_switch_on_pulls_node(self):
+        ckt = Circuit("sw")
+        ckt.add(VoltageSource("V1", "a", "0", 1.0))
+        ckt.add(VoltageSource("VC", "c", "0", 1.0))
+        ckt.add(Resistor("R1", "a", "m", 1e3))
+        ckt.add(Switch("S1", "m", "0", "c", r_on=1.0, r_off=1e9))
+        op = operating_point(ckt)
+        assert op.voltage("m") == pytest.approx(0.0, abs=1e-2)
+
+    def test_switch_off_isolates(self):
+        ckt = Circuit("sw")
+        ckt.add(VoltageSource("V1", "a", "0", 1.0))
+        ckt.add(VoltageSource("VC", "c", "0", 0.0))
+        ckt.add(Resistor("R1", "a", "m", 1e3))
+        ckt.add(Switch("S1", "m", "0", "c", r_on=1.0, r_off=1e9))
+        op = operating_point(ckt)
+        assert op.voltage("m") == pytest.approx(1.0, abs=1e-2)
+
+    def test_invalid_resistances(self):
+        with pytest.raises(NetlistError):
+            Switch("S1", "a", "0", "c", r_on=10.0, r_off=5.0)
+
+
+class TestDCSweep:
+    def test_sweep_restores_waveform(self):
+        ckt = divider()
+        source = ckt.element("VIN")
+        original = source.waveform
+        dc_sweep(ckt, "VIN", [0.0, 0.5, 1.0])
+        assert source.waveform is original
+
+    def test_sweep_values_track_input(self):
+        result = dc_sweep(divider(), "VIN", np.linspace(0, 2, 5))
+        mid = result.voltage("mid")
+        assert mid == pytest.approx(0.75 * np.linspace(0, 2, 5), rel=1e-6)
+
+    def test_sweep_diode_monotonic(self):
+        ckt = Circuit("diode-sweep")
+        ckt.add(VoltageSource("V1", "a", "0", 0.0))
+        ckt.add(Resistor("R1", "a", "d", 100.0))
+        ckt.add(Diode("D1", "d", "0"))
+        result = dc_sweep(ckt, "V1", np.linspace(0.0, 2.0, 21))
+        i = -result.current("V1")
+        assert np.all(np.diff(i) >= -1e-12)
+
+    def test_sweep_non_source_rejected(self):
+        with pytest.raises(NetlistError):
+            dc_sweep(divider(), "RT", [0, 1])
+
+    def test_len(self):
+        assert len(dc_sweep(divider(), "VIN", [0.0, 1.0])) == 2

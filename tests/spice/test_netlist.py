@@ -1,0 +1,108 @@
+"""Unit tests for circuit/netlist construction."""
+
+import pytest
+
+from fecam.errors import NetlistError
+from fecam.spice import (Capacitor, Circuit, Resistor, VoltageSource,
+                         canonical_node)
+
+
+class TestCanonicalNode:
+    def test_ground_aliases_collapse(self):
+        assert canonical_node("0") == "0"
+        assert canonical_node("gnd") == "0"
+        assert canonical_node("GND") == "0"
+        assert canonical_node("ground") == "0"
+
+    def test_regular_names_pass_through(self):
+        assert canonical_node("ml") == "ml"
+        assert canonical_node("sl_bar[3]") == "sl_bar[3]"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            canonical_node("")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(NetlistError):
+            canonical_node(7)
+
+
+class TestCircuit:
+    def test_nodes_registered_by_elements(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("R1", "a", "b", 1e3))
+        assert "a" in ckt
+        assert "b" in ckt
+        assert ckt.num_nodes == 2
+
+    def test_ground_not_counted_as_node(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("R1", "a", "0", 1e3))
+        assert ckt.num_nodes == 1
+        assert "0" in ckt
+        assert ckt.node_index("gnd") == -1
+
+    def test_duplicate_element_name_rejected(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("R1", "a", "0", 1e3))
+        with pytest.raises(NetlistError, match="duplicate"):
+            ckt.add(Resistor("R1", "b", "0", 1e3))
+
+    def test_element_lookup(self):
+        ckt = Circuit("t")
+        r = ckt.add(Resistor("R1", "a", "0", 1e3))
+        assert ckt.element("R1") is r
+        assert ckt.has_element("R1")
+        assert not ckt.has_element("R2")
+        with pytest.raises(NetlistError):
+            ckt.element("R2")
+
+    def test_unknown_node_index_raises(self):
+        ckt = Circuit("t")
+        with pytest.raises(NetlistError):
+            ckt.node_index("nowhere")
+
+    def test_elements_of_type(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("R1", "a", "0", 1e3))
+        ckt.add(Capacitor("C1", "a", "0", 1e-15))
+        ckt.add(VoltageSource("V1", "a", "0", 1.0))
+        assert len(ckt.elements_of_type(Resistor)) == 1
+        assert len(ckt.elements_of_type(Capacitor)) == 1
+        assert len(ckt.elements_of_type(VoltageSource)) == 1
+
+    def test_extend(self):
+        ckt = Circuit("t")
+        ckt.extend([Resistor("R1", "a", "b", 1.0), Resistor("R2", "b", "0", 1.0)])
+        assert len(ckt.elements) == 2
+
+    def test_summary_lists_every_element(self):
+        ckt = Circuit("demo")
+        ckt.add(Resistor("R1", "a", "0", 1e3))
+        ckt.add(VoltageSource("V1", "a", "0", 1.0))
+        text = ckt.summary()
+        assert "R1" in text
+        assert "V1" in text
+        assert "demo" in text
+
+
+class TestElementValidation:
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", -5.0)
+
+    def test_zero_resistance_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", 0.0)
+
+    def test_zero_capacitance_rejected(self):
+        with pytest.raises(NetlistError):
+            Capacitor("C1", "a", "b", 0.0)
+
+    def test_empty_element_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("", "a", "b", 1.0)
+
+    def test_source_requires_waveform_or_number(self):
+        with pytest.raises(NetlistError):
+            VoltageSource("V1", "a", "0", "not-a-waveform")

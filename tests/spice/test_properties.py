@@ -1,0 +1,96 @@
+"""Property-based tests for the MNA engine (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fecam.spice import (Capacitor, Circuit, Resistor, TransientOptions,
+                         VoltageSource, operating_point, transient)
+
+resistances = st.floats(min_value=10.0, max_value=1e6,
+                        allow_nan=False, allow_infinity=False)
+voltages = st.floats(min_value=-5.0, max_value=5.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(resistances, min_size=2, max_size=8), voltages)
+def test_ladder_voltages_bounded_by_source(rs, v_in):
+    """Maximum principle: all node voltages of a resistive ladder lie
+    between 0 and the source voltage."""
+    ckt = Circuit("ladder")
+    ckt.add(VoltageSource("VIN", "n0", "0", v_in))
+    for i, r in enumerate(rs):
+        ckt.add(Resistor(f"R{i}", f"n{i}", f"n{i+1}", r))
+    ckt.add(Resistor("REND", f"n{len(rs)}", "0", 1e3))
+    op = operating_point(ckt)
+    lo, hi = min(0.0, v_in) - 1e-6, max(0.0, v_in) + 1e-6
+    for i in range(len(rs) + 1):
+        assert lo <= op.voltage(f"n{i}") <= hi
+
+
+@settings(max_examples=30, deadline=None)
+@given(resistances, resistances, voltages)
+def test_divider_formula(r_top, r_bot, v_in):
+    """Two-resistor divider matches the closed form to solver tolerance."""
+    ckt = Circuit("div")
+    ckt.add(VoltageSource("VIN", "in", "0", v_in))
+    ckt.add(Resistor("RT", "in", "mid", r_top))
+    ckt.add(Resistor("RB", "mid", "0", r_bot))
+    op = operating_point(ckt)
+    expected = v_in * r_bot / (r_top + r_bot)
+    assert op.voltage("mid") == pytest.approx(expected, abs=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(voltages, voltages)
+def test_linear_superposition(v1, v2):
+    """For a linear circuit, response to V1+V2 equals the sum of responses."""
+
+    def solve(a, b):
+        ckt = Circuit("sup")
+        ckt.add(VoltageSource("V1", "a", "0", a))
+        ckt.add(VoltageSource("V2", "b", "0", b))
+        ckt.add(Resistor("R1", "a", "m", 1e3))
+        ckt.add(Resistor("R2", "b", "m", 2e3))
+        ckt.add(Resistor("R3", "m", "0", 3e3))
+        return operating_point(ckt).voltage("m")
+
+    both = solve(v1, v2)
+    only1 = solve(v1, 0.0)
+    only2 = solve(0.0, v2)
+    assert both == pytest.approx(only1 + only2, abs=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.floats(min_value=0.1, max_value=2.0),
+       st.floats(min_value=0.5, max_value=5.0))
+def test_rc_charge_conservation(v_hi, c_pf):
+    """Charge delivered by the source equals the charge stored on the cap."""
+    c = c_pf * 1e-12
+    ckt = Circuit("q")
+    from fecam.spice import Pulse
+    ckt.add(VoltageSource("VIN", "in", "0", Pulse(0.0, v_hi, rise=1e-12,
+                                                  width=1.0)))
+    ckt.add(Resistor("R1", "in", "out", 1e3))
+    ckt.add(Capacitor("C1", "out", "0", c))
+    # Simulate long enough (>10 tau) for full charge.
+    tau = 1e3 * c
+    result = transient(ckt, 12 * tau, options=TransientOptions(dt=tau / 50))
+    # Integrate source current (pos->neg through source: negative when
+    # delivering), so stored charge is -integral.
+    q_delivered = -np.trapezoid(result.current("VIN"), result.t)
+    assert q_delivered == pytest.approx(c * v_hi, rel=0.03)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=6))
+def test_parallel_resistors_combine(n):
+    """N equal resistors in parallel draw N times the single-resistor current."""
+    ckt = Circuit("par")
+    ckt.add(VoltageSource("VIN", "a", "0", 1.0))
+    for i in range(n):
+        ckt.add(Resistor(f"R{i}", "a", "0", 1e3))
+    op = operating_point(ckt)
+    assert -op.current("VIN") == pytest.approx(n * 1e-3, rel=1e-6)

@@ -1,0 +1,172 @@
+"""Transient analysis tests against closed-form RC answers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from fecam.errors import SimulationError
+from fecam.spice import (Capacitor, Circuit, Pulse, Resistor, Switch, Sine,
+                         TransientOptions, VoltageSource, transient)
+
+
+def rc_circuit(r=1e3, c=1e-12, v_hi=1.0, rise=1e-12):
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("VIN", "in", "0", Pulse(0.0, v_hi, rise=rise,
+                                                  width=1.0)))
+    ckt.add(Resistor("R1", "in", "out", r))
+    ckt.add(Capacitor("C1", "out", "0", c))
+    return ckt
+
+
+class TestRCCharging:
+    def test_exponential_charge_curve(self):
+        tau = 1e-9  # 1 kOhm * 1 pF
+        result = transient(rc_circuit(), 5e-9,
+                           options=TransientOptions(dt=5e-12))
+        for frac_tau in (0.5, 1.0, 2.0, 3.0):
+            t = frac_tau * tau
+            expected = 1.0 - math.exp(-frac_tau)
+            assert result.sample("out", t) == pytest.approx(expected, abs=0.01)
+
+    def test_final_value_reaches_supply(self):
+        result = transient(rc_circuit(), 10e-9,
+                           options=TransientOptions(dt=10e-12))
+        assert result.final("out") == pytest.approx(1.0, abs=1e-3)
+
+    def test_crossing_time_matches_analytics(self):
+        # v(t) = 1 - exp(-t/tau); crosses 0.5 at tau*ln(2).
+        result = transient(rc_circuit(), 5e-9,
+                           options=TransientOptions(dt=2e-12))
+        t_cross = result.crossing_time("out", 0.5, rising=True)
+        assert t_cross == pytest.approx(1e-9 * math.log(2), rel=0.02)
+
+    def test_initial_condition_forced(self):
+        ckt = Circuit("ic")
+        ckt.add(VoltageSource("VIN", "in", "0", 0.0))
+        ckt.add(Resistor("R1", "in", "out", 1e3))
+        ckt.add(Capacitor("C1", "out", "0", 1e-12, ic=1.0))
+        result = transient(ckt, 5e-9, options=TransientOptions(dt=5e-12))
+        # Discharges from the forced 1 V toward 0.
+        assert result.sample("out", 1e-9) == pytest.approx(math.exp(-1.0), abs=0.02)
+        assert result.final("out") == pytest.approx(0.0, abs=1e-2)
+
+    def test_t_stop_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            transient(rc_circuit(), -1e-9)
+
+
+class TestEnergyAccounting:
+    def test_source_energy_on_full_charge(self):
+        # Charging C to V through R draws E = C*V^2 from the source
+        # (half stored, half dissipated), independent of R.
+        c, v = 1e-12, 1.0
+        result = transient(rc_circuit(c=c, v_hi=v), 20e-9,
+                           options=TransientOptions(dt=10e-12))
+        assert result.energy("VIN") == pytest.approx(c * v * v, rel=0.02)
+
+    def test_energy_window_restricts_integration(self):
+        result = transient(rc_circuit(), 20e-9,
+                           options=TransientOptions(dt=10e-12))
+        e_total = result.energy("VIN")
+        e_first = result.energy("VIN", t_stop=1e-9)
+        e_rest = result.energy("VIN", t_start=1e-9)
+        assert e_first + e_rest == pytest.approx(e_total, rel=1e-6)
+        assert 0 < e_first < e_total
+
+    def test_total_energy_prefix_filter(self):
+        ckt = rc_circuit()
+        ckt.add(VoltageSource("VAUX", "aux", "0", 0.0))
+        ckt.add(Resistor("RAUX", "aux", "0", 1e6))
+        result = transient(ckt, 5e-9, options=TransientOptions(dt=10e-12))
+        assert result.total_energy("VIN") == pytest.approx(result.energy("VIN"))
+        assert result.total_energy() == pytest.approx(
+            result.energy("VIN") + result.energy("VAUX"))
+
+    def test_idle_source_delivers_nothing(self):
+        ckt = rc_circuit()
+        ckt.add(VoltageSource("VIDLE", "idle", "0", 0.0))
+        ckt.add(Resistor("RIDLE", "idle", "0", 1e6))
+        result = transient(ckt, 5e-9, options=TransientOptions(dt=10e-12))
+        assert result.energy("VIDLE") == pytest.approx(0.0, abs=1e-20)
+
+
+class TestMeasurements:
+    def test_delay_between_nodes(self):
+        # Two cascaded RC stages: the second lags the first.
+        ckt = Circuit("rc2")
+        ckt.add(VoltageSource("VIN", "in", "0", Pulse(0.0, 1.0, rise=1e-12,
+                                                      width=1.0)))
+        ckt.add(Resistor("R1", "in", "m", 1e3))
+        ckt.add(Capacitor("C1", "m", "0", 1e-13))
+        ckt.add(Resistor("R2", "m", "out", 1e3))
+        ckt.add(Capacitor("C2", "out", "0", 1e-13))
+        result = transient(ckt, 3e-9, options=TransientOptions(dt=2e-12))
+        d = result.delay("m", "out", from_level=0.5, to_level=0.5)
+        assert d is not None and d > 0
+
+    def test_crossing_none_when_never_crossed(self):
+        result = transient(rc_circuit(), 5e-9,
+                           options=TransientOptions(dt=10e-12))
+        assert result.crossing_time("out", 2.0, rising=True) is None
+        assert result.crossing_time("out", 0.5, rising=False) is None
+
+    def test_falling_crossing(self):
+        ckt = Circuit("fall")
+        ckt.add(VoltageSource("VIN", "in", "0",
+                              Pulse(1.0, 0.0, delay=1e-9, rise=1e-12, width=1.0)))
+        ckt.add(Resistor("R1", "in", "out", 1e3))
+        ckt.add(Capacitor("C1", "out", "0", 1e-13))
+        result = transient(ckt, 3e-9, options=TransientOptions(dt=2e-12))
+        t = result.crossing_time("out", 0.5, rising=False)
+        assert t is not None and t > 1e-9
+
+    def test_slice_window(self):
+        result = transient(rc_circuit(), 5e-9,
+                           options=TransientOptions(dt=10e-12))
+        part = result.slice(1e-9, 2e-9)
+        assert part.t[0] >= 1e-9
+        assert part.t[-1] <= 2e-9
+        assert len(part.voltage("out")) == len(part.t)
+
+    def test_unrecorded_node_raises(self):
+        result = transient(rc_circuit(), 1e-9,
+                           options=TransientOptions(dt=10e-12),
+                           record_nodes=["out"])
+        with pytest.raises(SimulationError):
+            result.voltage("in")
+        assert len(result.voltage("out")) == len(result.t)
+
+
+class TestSwitchTransient:
+    def test_switched_discharge(self):
+        # Precharge a cap via initial condition, then close a switch at 1 ns.
+        ckt = Circuit("swt")
+        ckt.add(Capacitor("CML", "ml", "0", 10e-15, ic=0.8))
+        ckt.add(VoltageSource("VCTRL", "ctrl", "0",
+                              Pulse(0.0, 0.8, delay=1e-9, rise=10e-12, width=1.0)))
+        ckt.add(Switch("S1", "ml", "0", "ctrl", r_on=1e4, r_off=1e12))
+        result = transient(ckt, 4e-9, options=TransientOptions(dt=5e-12))
+        # Holds before the switch closes...
+        assert result.sample("ml", 0.9e-9) == pytest.approx(0.8, abs=0.02)
+        # ...then discharges with tau = 10 fF * 10 kOhm = 0.1 ns.
+        assert result.sample("ml", 1.6e-9) < 0.1
+        t_cross = result.crossing_time("ml", 0.4, rising=False)
+        assert t_cross == pytest.approx(1e-9 + 0.1e-9 * math.log(2), rel=0.25)
+
+
+class TestSineResponse:
+    def test_low_pass_attenuates(self):
+        # f = 1/(2*pi*tau) gives |H| = 1/sqrt(2).
+        tau = 1e-9
+        freq = 1.0 / (2 * math.pi * tau)
+        ckt = Circuit("lp")
+        ckt.add(VoltageSource("VIN", "in", "0", Sine(0.0, 1.0, freq)))
+        ckt.add(Resistor("R1", "in", "out", 1e3))
+        ckt.add(Capacitor("C1", "out", "0", 1e-12))
+        result = transient(ckt, 20 / freq,
+                           options=TransientOptions(dt=0.01 / freq))
+        # Steady-state amplitude over the last few periods.
+        tail = result.slice(10 / freq, 20 / freq)
+        amplitude = 0.5 * (tail.voltage("out").max() - tail.voltage("out").min())
+        assert amplitude == pytest.approx(1 / math.sqrt(2), abs=0.06)

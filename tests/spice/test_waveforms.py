@@ -1,0 +1,118 @@
+"""Unit tests for source waveforms."""
+
+import math
+
+import pytest
+
+from fecam.errors import NetlistError
+from fecam.spice import DC, PWL, Pulse, Sine, step_sequence
+
+
+class TestDC:
+    def test_constant(self):
+        w = DC(1.5)
+        assert w.value(0.0) == 1.5
+        assert w.value(1e9) == 1.5
+        assert w(3.0) == 1.5
+
+
+class TestPulse:
+    def test_initial_level(self):
+        w = Pulse(0.0, 1.0, delay=1e-9, rise=1e-10, width=1e-9)
+        assert w.value(0.0) == 0.0
+        assert w.value(0.99e-9) == 0.0
+
+    def test_rise_midpoint(self):
+        w = Pulse(0.0, 1.0, delay=0.0, rise=1e-10, width=1e-9)
+        assert w.value(0.5e-10) == pytest.approx(0.5)
+
+    def test_plateau(self):
+        w = Pulse(0.0, 1.0, delay=0.0, rise=1e-10, width=1e-9)
+        assert w.value(0.5e-9) == 1.0
+
+    def test_fall_and_return(self):
+        w = Pulse(0.0, 1.0, delay=0.0, rise=1e-10, fall=2e-10, width=1e-9)
+        t_fall_mid = 1e-10 + 1e-9 + 1e-10
+        assert w.value(t_fall_mid) == pytest.approx(0.5)
+        assert w.value(1e-8) == 0.0
+
+    def test_periodic_repeats(self):
+        w = Pulse(0.0, 1.0, rise=1e-12, fall=1e-12, width=1e-9, period=4e-9)
+        assert w.value(0.5e-9) == pytest.approx(1.0)
+        assert w.value(4.5e-9) == pytest.approx(1.0)
+        assert w.value(2.5e-9) == pytest.approx(0.0)
+
+    def test_negative_levels_supported(self):
+        w = Pulse(0.0, -4.0, rise=1e-12, width=1e-9)
+        assert w.value(0.5e-9) == pytest.approx(-4.0)
+
+    def test_invalid_edges_rejected(self):
+        with pytest.raises(NetlistError):
+            Pulse(0, 1, rise=0.0)
+        with pytest.raises(NetlistError):
+            Pulse(0, 1, width=-1e-9)
+
+
+class TestPWL:
+    def test_holds_ends(self):
+        w = PWL([(1.0, 2.0), (2.0, 4.0)])
+        assert w.value(0.0) == 2.0
+        assert w.value(5.0) == 4.0
+
+    def test_interpolates(self):
+        w = PWL([(0.0, 0.0), (1.0, 10.0)])
+        assert w.value(0.25) == pytest.approx(2.5)
+
+    def test_multi_segment(self):
+        w = PWL([(0.0, 0.0), (1.0, 1.0), (2.0, -1.0)])
+        assert w.value(1.5) == pytest.approx(0.0)
+
+    def test_non_monotonic_times_rejected(self):
+        with pytest.raises(NetlistError):
+            PWL([(0.0, 0.0), (0.0, 1.0)])
+        with pytest.raises(NetlistError):
+            PWL([(1.0, 0.0), (0.5, 1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetlistError):
+            PWL([])
+
+
+class TestSine:
+    def test_phase_and_amplitude(self):
+        w = Sine(offset=1.0, amplitude=2.0, freq=1e9)
+        assert w.value(0.0) == pytest.approx(1.0)
+        assert w.value(0.25e-9) == pytest.approx(3.0)
+
+    def test_delay(self):
+        w = Sine(offset=0.0, amplitude=1.0, freq=1e9, delay=0.25e-9)
+        assert w.value(0.25e-9) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bad_freq(self):
+        with pytest.raises(NetlistError):
+            Sine(0, 1, freq=0)
+
+
+class TestShifted:
+    def test_shift(self):
+        w = Pulse(0.0, 1.0, rise=1e-12, width=1e-9).shifted(5e-9)
+        assert w.value(4e-9) == 0.0
+        assert w.value(5.5e-9) == pytest.approx(1.0)
+
+
+class TestStepSequence:
+    def test_levels_between_transitions(self):
+        w = step_sequence([(0.0, 0.0), (1e-9, 2.0), (2e-9, 0.5)],
+                          transition=10e-12)
+        assert w.value(0.5e-9) == 0.0
+        assert w.value(1.5e-9) == pytest.approx(2.0)
+        assert w.value(3e-9) == pytest.approx(0.5)
+
+    def test_transition_is_finite(self):
+        w = step_sequence([(0.0, 0.0), (1e-9, 1.0)], transition=100e-12)
+        mid = w.value(1e-9 + 50e-12)
+        assert 0.4 < mid < 0.6
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetlistError):
+            step_sequence([])
