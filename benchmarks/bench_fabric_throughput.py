@@ -1,0 +1,169 @@
+"""Fabric throughput: sequential vs. batched vs. cached search.
+
+Measures queries/sec and per-query energy on fabrics of 1, 4, and 16
+banks (1024 rows x 64 bits each), for three serving strategies:
+
+* ``sequential`` — a Python loop of per-bank ``TernaryCAM.search()``
+  calls, the baseline every fabric result is bit-identical to;
+* ``batched``    — ``TcamFabric.search_batch`` through the vectorized
+  two-step kernel;
+* ``cached``     — the same batch against a warm LRU query cache with a
+  Zipf-ish repeated-query trace.
+
+Emits JSON (``benchmarks/results/fabric_throughput.json`` by default)
+for the bench trajectory, and asserts the tentpole acceptance criterion:
+on the 16-bank fabric, batched search is >= 20x sequential while
+returning bit-identical matches and energy.
+
+Run directly (``python benchmarks/bench_fabric_throughput.py``) or via
+pytest (``pytest benchmarks/bench_fabric_throughput.py``).
+"""
+
+import json
+import os
+import random
+import time
+
+from fecam.designs import DesignKind
+from fecam.fabric import TcamFabric
+from fecam.functional import EnergyModel
+
+ROWS_PER_BANK = 1024
+WIDTH = 64
+FILL = 0.75
+N_QUERIES = 1000
+UNIQUE_HOT_QUERIES = 100  # cached scenario draws from this hot set
+BANK_COUNTS = (1, 4, 16)
+SPEEDUP_FLOOR = 20.0  # acceptance criterion, checked at 16 banks
+
+
+def _fast_model():
+    """Fixed FoM numbers: benchmarks time search, not SPICE."""
+    return EnergyModel(DesignKind.DG_1T5, WIDTH, e_1step_per_bit=0.8e-15,
+                       e_2step_per_bit=1.3e-15, latency_1step=0.7e-9,
+                       latency_2step=2.3e-9, write_energy_per_cell=0.41e-15)
+
+
+def _build_fabric(banks, rng, cache_size=0):
+    fabric = TcamFabric(banks=banks, rows_per_bank=ROWS_PER_BANK,
+                        width=WIDTH, energy_model=_fast_model(),
+                        cache_size=cache_size)
+    n_words = int(banks * ROWS_PER_BANK * FILL)
+    words = ["".join(rng.choice("01X") for _ in range(WIDTH))
+             for _ in range(n_words)]
+    fabric.insert_many(words, keys=list(range(n_words)),
+                       banks=[i % banks for i in range(n_words)])
+    return fabric
+
+
+def _best_of(fn, repeats=3):
+    """Min-of-N wall time (standard noise suppression); returns
+    (best_seconds, result_of_last_run)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _measure(banks):
+    """One configuration; returns the result row dict."""
+    rng = random.Random(20230710 + banks)
+    queries = ["".join(rng.choice("01") for _ in range(WIDTH))
+               for _ in range(N_QUERIES)]
+    hot = ["".join(rng.choice("01") for _ in range(WIDTH))
+           for _ in range(UNIQUE_HOT_QUERIES)]
+    hot_trace = [rng.choice(hot) for _ in range(N_QUERIES)]
+
+    # Identical twin fabrics so energy accounting can be compared 1:1.
+    seq_fabric = _build_fabric(banks, random.Random(42))
+    bat_fabric = _build_fabric(banks, random.Random(42))
+    cache_fabric = _build_fabric(banks, random.Random(42),
+                                 cache_size=4 * UNIQUE_HOT_QUERIES)
+
+    def run_sequential():
+        return [[bank.cam.search(q) for bank in seq_fabric.banks]
+                for q in queries]
+
+    t_seq, seq_results = _best_of(run_sequential)
+    t_batch, bat_results = _best_of(
+        lambda: bat_fabric.search_batch(queries, use_cache=False))
+    cache_fabric.search_batch(hot_trace[:200], use_cache=True)  # warm
+    t_cached, _ = _best_of(
+        lambda: cache_fabric.search_batch(hot_trace, use_cache=True))
+
+    # Bit-identical matches and energy accounting vs. the loop.
+    for per_bank, merged in zip(seq_results, bat_results):
+        loop_rows = [(b, r) for b, stats in enumerate(per_bank)
+                     for r in stats.matches]
+        fabric_rows = sorted((e.bank, e.row) for e in merged.matches)
+        assert sorted(loop_rows) == fabric_rows
+        loop_energy = 0.0
+        for stats in per_bank:
+            loop_energy += stats.energy
+        assert loop_energy == merged.energy
+    for bank_seq, bank_bat in zip(seq_fabric.banks, bat_fabric.banks):
+        assert bank_seq.cam.energy_spent == bank_bat.cam.energy_spent
+
+    total_energy = sum(r.energy for r in bat_results)
+    return {
+        "banks": banks,
+        "rows_per_bank": ROWS_PER_BANK,
+        "width_bits": WIDTH,
+        "occupancy": bat_fabric.occupancy,
+        "queries": N_QUERIES,
+        "sequential_qps": N_QUERIES / t_seq,
+        "batched_qps": N_QUERIES / t_batch,
+        "cached_qps": N_QUERIES / t_cached,
+        "batch_speedup": t_seq / t_batch,
+        "cache_speedup": t_seq / t_cached,
+        "cache_hit_rate": cache_fabric.stats.cache_hit_rate,
+        "energy_per_query_j": total_energy / N_QUERIES,
+        "bit_identical": True,
+    }
+
+
+def run(json_path=None):
+    rows = [_measure(banks) for banks in BANK_COUNTS]
+    if json_path is None:
+        json_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                 "results", "fabric_throughput.json")
+    os.makedirs(os.path.dirname(json_path), exist_ok=True)
+    payload = {"benchmark": "fabric_throughput",
+               "config": {"rows_per_bank": ROWS_PER_BANK,
+                          "width_bits": WIDTH, "fill": FILL,
+                          "queries": N_QUERIES},
+               "results": rows}
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    return rows, json_path
+
+
+def print_report(rows):
+    from fecam.bench import print_experiment
+    print_experiment(
+        "Fabric throughput (sequential vs batched vs cached)",
+        ["banks", "seq qps", "batch qps", "cached qps", "speedup",
+         "cache hit", "J/query"],
+        [[r["banks"], r["sequential_qps"], r["batched_qps"],
+          r["cached_qps"], r["batch_speedup"], r["cache_hit_rate"],
+          r["energy_per_query_j"]] for r in rows])
+
+
+def test_bench_fabric_throughput():
+    rows, json_path = run()
+    print_report(rows)
+    print(f"JSON written to {json_path}")
+    headline = next(r for r in rows if r["banks"] == max(BANK_COUNTS))
+    assert headline["bit_identical"]
+    assert headline["batch_speedup"] >= SPEEDUP_FLOOR, (
+        f"batched search is only {headline['batch_speedup']:.1f}x the "
+        f"sequential loop (acceptance floor {SPEEDUP_FLOOR}x)")
+    # The cache should beat even the batched path on a hot-set trace.
+    assert headline["cached_qps"] > headline["batched_qps"]
+
+
+if __name__ == "__main__":
+    test_bench_fabric_throughput()

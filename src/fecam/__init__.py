@@ -13,8 +13,13 @@ Layered public API:
   HV drivers, figures of merit.
 * :mod:`fecam.functional` — fast behavioral ternary-match engine annotated
   with circuit-tier energy/latency.
+* :mod:`fecam.fabric` — sharded multi-bank TCAM fabric: free-row bank
+  lifecycle, hash/range sharding, vectorized batch search, cross-bank
+  priority-encoder merge, LRU query caching with shard-scoped
+  invalidation.
 * :mod:`fecam.apps` — application substrates (router LPM, associative
-  cache, packet classifier, genomics seed matching).
+  cache, packet classifier, genomics seed matching), scaled past one
+  array by the fabric tier.
 * :mod:`fecam.bench` — experiment harness regenerating every paper
   table/figure.
 
@@ -26,6 +31,13 @@ Quickstart::
                                        design=fecam.DesignKind.DG_1T5)
     tcam.write(0, "01X" * 21 + "0")
     hits = tcam.search("010" * 21 + "0")
+
+At system scale, the fabric serves batched traffic over many banks::
+
+    fabric = fecam.fabric.TcamFabric(banks=16, rows_per_bank=1024,
+                                     width=64, cache_size=4096)
+    fabric.insert("01X" * 21 + "0", key="rule-0")
+    results = fabric.search_batch(["010" * 21 + "0"] * 1000)
 """
 
 from .designs import DesignKind
@@ -34,10 +46,12 @@ from . import devices  # noqa: F401
 from . import cam  # noqa: F401
 from . import arch  # noqa: F401
 from . import functional  # noqa: F401
+from . import fabric  # noqa: F401
 from . import apps  # noqa: F401
 from . import bench  # noqa: F401
+from .fabric import TcamFabric  # noqa: F401  (headline system-tier API)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["DesignKind", "spice", "devices", "cam", "arch", "functional",
-           "apps", "bench", "__version__"]
+__all__ = ["DesignKind", "TcamFabric", "spice", "devices", "cam", "arch",
+           "functional", "fabric", "apps", "bench", "__version__"]

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..designs import DesignKind
 from ..errors import OperationError
-from ..functional.engine import TernaryCAM
+from ..fabric import TcamFabric
 
 __all__ = ["range_to_prefixes", "Rule", "Packet", "TcamClassifier"]
 
@@ -112,27 +112,38 @@ class Rule:
 
 
 class TcamClassifier:
-    """Priority packet classifier over a 104-bit TCAM key."""
+    """Priority packet classifier over a 104-bit TCAM key.
+
+    Backed by a :class:`TcamFabric`: the expanded rule rows stripe
+    round-robin over ``banks`` arrays (priority = expansion order, so
+    the cross-bank encoder preserves first-rule-wins semantics), and
+    packet batches classify through the vectorized search path.
+    """
 
     KEY_WIDTH = 32 + 32 + 16 + 16 + 8
 
     def __init__(self, capacity_rows: int = 4096,
-                 design: DesignKind = DesignKind.DG_1T5):
+                 design: DesignKind = DesignKind.DG_1T5, *,
+                 banks: int = 1, cache_size: int = 0):
+        if banks < 1:
+            raise OperationError("banks must be positive")
         self.capacity_rows = capacity_rows
         self.design = design
+        self.banks = banks
+        self.cache_size = cache_size
         self.rules: List[Rule] = []
-        self._row_rule: List[int] = []
-        self._tcam: Optional[TernaryCAM] = None
+        self._rows_used = 0  # running expansion count (capacity check)
+        self._fabric: Optional[TcamFabric] = None
         self._dirty = True
 
     def add_rule(self, rule: Rule) -> int:
         """Append a rule (lower index = higher priority); returns the
         number of TCAM rows it expands to."""
         words = rule.ternary_words()
-        used = len(self._row_rule)
-        if used + len(words) > self.capacity_rows:
+        if self._rows_used + len(words) > self.capacity_rows:
             raise OperationError("classifier TCAM capacity exceeded")
         self.rules.append(rule)
+        self._rows_used += len(words)
         self._dirty = True
         return len(words)
 
@@ -141,19 +152,19 @@ class TcamClassifier:
         for idx, rule in enumerate(self.rules):
             for word in rule.ternary_words():
                 rows.append((word, idx))
-        self._tcam = TernaryCAM(rows=max(len(rows), 1), width=self.KEY_WIDTH,
-                                design=self.design)
-        self._row_rule = []
-        for row, (word, idx) in enumerate(rows):
-            self._tcam.write(row, word)
-            self._row_rule.append(idx)
+        self._fabric = TcamFabric.striped(
+            [word for word, _ in rows], banks=self.banks,
+            width=self.KEY_WIDTH, design=self.design,
+            keys=list(range(len(rows))),
+            payloads=[idx for _, idx in rows],
+            cache_size=self.cache_size)
+        self._rows_used = len(rows)
         self._dirty = False
 
     @property
     def rows_used(self) -> int:
-        if self._dirty:
-            self._rebuild()
-        return len(self._row_rule)
+        # add_rule keeps the expansion count in sync; no rebuild needed.
+        return self._rows_used
 
     def classify(self, packet: Packet) -> Optional[str]:
         """Highest-priority rule name matching the packet, or None."""
@@ -161,10 +172,21 @@ class TcamClassifier:
             return None
         if self._dirty:
             self._rebuild()
-        row = self._tcam.search_first(packet.key_bits())
-        if row is None:
+        entry = self._fabric.search_first(packet.key_bits())
+        if entry is None:
             return None
-        return self.rules[self._row_rule[row]].name
+        return self.rules[entry.payload].name
+
+    def classify_batch(self, packets: Sequence[Packet]) -> List[Optional[str]]:
+        """Vectorized classification of a packet batch (one fabric pass)."""
+        if not self.rules:
+            return [None] * len(packets)
+        if self._dirty:
+            self._rebuild()
+        results = self._fabric.search_batch(
+            [p.key_bits() for p in packets])
+        return [self.rules[r.best.payload].name if r.best is not None
+                else None for r in results]
 
     def classify_reference(self, packet: Packet) -> Optional[str]:
         for rule in self.rules:

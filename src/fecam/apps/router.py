@@ -1,21 +1,23 @@
-"""Longest-prefix-match IP routing on a TCAM — the paper's classic
-network-router motivation (Sec. I).
+"""Longest-prefix-match IP routing on the TCAM fabric — the paper's
+classic network-router motivation (Sec. I).
 
 Prefixes map naturally onto ternary words (the host bits become 'X');
-longest-prefix-match priority is realized by keeping rows sorted by
-descending prefix length, so the priority encoder (lowest matching row)
-returns the most specific route — exactly how commercial router TCAMs
-operate.
+longest-prefix-match priority is realized by storing routes in
+descending-prefix-length priority order, so the fabric's cross-bank
+priority encoder returns the most specific route — exactly how
+commercial router TCAMs operate.  The table is striped round-robin
+across ``banks`` fabric banks, so it scales past a single array and
+serves address batches through the vectorized search path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..designs import DesignKind
 from ..errors import OperationError
-from ..functional.engine import TernaryCAM
+from ..fabric import TcamFabric
 
 __all__ = ["Route", "TcamRouter", "parse_cidr", "ip_to_int", "int_to_ip"]
 
@@ -70,10 +72,13 @@ class Route:
 
 
 class TcamRouter:
-    """An IPv4 forwarding table backed by a :class:`TernaryCAM`.
+    """An IPv4 forwarding table backed by a :class:`TcamFabric`.
 
-    Routes are stored sorted by descending prefix length so the lowest
-    matching TCAM row is the longest (most specific) prefix.
+    Routes are stored in descending-prefix-length priority order so the
+    fabric's priority encoder returns the longest (most specific)
+    prefix.  ``banks`` stripes the table over multiple TCAM arrays;
+    ``cache_size`` enables the fabric's query-result cache for
+    read-heavy lookup traffic.
 
     >>> router = TcamRouter(capacity=16)
     >>> router.add_route("10.0.0.0/8", "coarse")
@@ -83,11 +88,16 @@ class TcamRouter:
     """
 
     def __init__(self, capacity: int = 1024,
-                 design: DesignKind = DesignKind.DG_1T5):
+                 design: DesignKind = DesignKind.DG_1T5, *,
+                 banks: int = 1, cache_size: int = 0):
+        if banks < 1:
+            raise OperationError("banks must be positive")
         self.capacity = capacity
         self.design = design
+        self.banks = banks
+        self.cache_size = cache_size
         self._routes: List[Route] = []
-        self._tcam: Optional[TernaryCAM] = None
+        self._fabric: Optional[TcamFabric] = None
         self._dirty = True
 
     # -- table management -----------------------------------------------------------
@@ -116,12 +126,15 @@ class TcamRouter:
         return len(self._routes)
 
     def _rebuild(self) -> None:
-        # Longest prefixes first => priority encoder returns LPM.
+        # Longest prefixes first => priority encoder returns LPM; rows
+        # stripe round-robin across banks for balanced occupancy.
         self._routes.sort(key=lambda r: (-r.prefix_len, r.network))
-        self._tcam = TernaryCAM(rows=max(len(self._routes), 1), width=32,
-                                design=self.design)
-        for row, route in enumerate(self._routes):
-            self._tcam.write(row, route.ternary_word())
+        self._fabric = TcamFabric.striped(
+            [route.ternary_word() for route in self._routes],
+            banks=self.banks, width=32, design=self.design,
+            keys=[(route.network, route.prefix_len)
+                  for route in self._routes],
+            payloads=self._routes, cache_size=self.cache_size)
         self._dirty = False
 
     # -- lookups ---------------------------------------------------------------------
@@ -136,8 +149,20 @@ class TcamRouter:
             return None
         if self._dirty:
             self._rebuild()
-        row = self._tcam.search_first(format(ip_to_int(address), "032b"))
-        return self._routes[row] if row is not None else None
+        entry = self._fabric.search_first(
+            format(ip_to_int(address), "032b"))
+        return entry.payload if entry is not None else None
+
+    def lookup_batch(self, addresses: Sequence[str]) -> List[Optional[str]]:
+        """Vectorized LPM for a batch of addresses (one fabric pass)."""
+        if not self._routes:
+            return [None] * len(addresses)
+        if self._dirty:
+            self._rebuild()
+        queries = [format(ip_to_int(a), "032b") for a in addresses]
+        results = self._fabric.search_batch(queries)
+        return [r.best.payload.next_hop if r.best is not None else None
+                for r in results]
 
     def lookup_reference(self, address: str) -> Optional[str]:
         """Pure-software LPM (specification for tests)."""
@@ -151,7 +176,11 @@ class TcamRouter:
 
     @property
     def stats(self) -> Dict[str, float]:
-        if self._tcam is None:
-            return {"searches": 0, "energy_j": 0.0}
-        return {"searches": self._tcam.search_count,
-                "energy_j": self._tcam.energy_spent}
+        if self._fabric is None:
+            return {"searches": 0, "energy_j": 0.0, "banks": self.banks,
+                    "cache_hits": 0}
+        fabric_stats = self._fabric.stats
+        return {"searches": fabric_stats.searches,
+                "energy_j": fabric_stats.energy_total,
+                "banks": fabric_stats.num_banks,
+                "cache_hits": fabric_stats.cache_hits}

@@ -1,0 +1,27 @@
+"""Sharded multi-bank TCAM fabric: the system tier above single arrays.
+
+The circuit tier calibrates *one* array; this package turns calibrated
+arrays into a search *engine*: banks with row lifecycle
+(:mod:`~fecam.fabric.bank`), key-to-bank placement
+(:mod:`~fecam.fabric.shard`), the fabric itself with cross-bank
+priority-encoder merge (:mod:`~fecam.fabric.fabric`), vectorized
+multi-query batch search (:mod:`~fecam.fabric.batch`), and an LRU
+query-result cache invalidated by per-bank write generations
+(:mod:`~fecam.fabric.cache`).
+"""
+
+from .bank import CamBank
+from .batch import normalize_queries, pack_queries, search_packed_batch
+from .cache import QueryCache
+from .fabric import (BankTelemetry, FabricEntry, FabricSearchResult,
+                     FabricStats, TcamFabric)
+from .shard import HashSharding, RangeSharding, ShardPolicy
+
+__all__ = [
+    "TcamFabric", "FabricEntry", "FabricSearchResult", "FabricStats",
+    "BankTelemetry",
+    "CamBank",
+    "ShardPolicy", "HashSharding", "RangeSharding",
+    "QueryCache",
+    "normalize_queries", "pack_queries", "search_packed_batch",
+]

@@ -1,0 +1,565 @@
+"""`TcamFabric` — a sharded multi-bank associative search engine.
+
+The paper evaluates single arrays; a deployable search engine is many
+arrays behind one interface (cf. the capacity-scaled FeCAM / multi-bank
+CAM systems in related work).  The fabric owns N :class:`CamBank` banks,
+places keys by a :class:`ShardPolicy`, broadcasts searches to every bank
+(content queries can match anywhere), and merges matches with
+*cross-bank priority-encoder* semantics: every entry carries a global
+priority, and results come back lowest-priority-first regardless of
+which bank holds them — exactly what a hardware priority encoder over
+concatenated match lines would output.
+
+Energy is the sum over banks (all banks fire on a broadcast search);
+latency is the worst bank (banks search in parallel, the encoder waits
+for the slowest).  Batched searches go through the vectorized kernel in
+:mod:`fecam.fabric.batch` and produce bit-identical numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..designs import DesignKind
+from ..errors import OperationError, TernaryValueError
+from ..cam.states import normalize_query, normalize_word
+from ..functional.engine import EnergyModel, SearchStats, pack_words
+from .bank import CamBank
+from .batch import batch_count_matches, normalize_queries, pack_queries
+from .cache import QueryCache
+from .shard import HashSharding, ShardPolicy
+
+__all__ = ["TcamFabric", "FabricEntry", "FabricSearchResult", "FabricStats",
+           "BankTelemetry"]
+
+
+@dataclass
+class FabricEntry:
+    """One stored word and where the fabric placed it."""
+
+    key: Hashable
+    word: str
+    priority: float
+    bank: int
+    row: int
+    payload: Any = None
+    seq: int = 0  # insertion tiebreak for equal priorities
+
+    @property
+    def sort_key(self) -> Tuple[float, int]:
+        return (self.priority, self.seq)
+
+
+@dataclass
+class FabricSearchResult:
+    """Merged outcome of one fabric-wide search.
+
+    ``energy``/``latency`` are what serving *this* result actually
+    cost: a cache hit reports 0.0 for both (no array fired), consistent
+    with :attr:`TcamFabric.stats` not growing on hits.
+
+    ``per_bank`` carries the individual :class:`SearchStats` for
+    sequential searches; batched searches keep only the (identical)
+    aggregates and leave it ``None`` — materializing Q x banks stats
+    objects would dominate the vectorized kernel.
+    """
+
+    matches: List[FabricEntry]  # global priority order (best first)
+    energy: float               # J, summed over all banks
+    latency: float              # s, worst bank (banks run in parallel)
+    per_bank: Optional[List[SearchStats]] = None
+    cached: bool = False
+
+    @property
+    def best(self) -> Optional[FabricEntry]:
+        return self.matches[0] if self.matches else None
+
+    @property
+    def match_keys(self) -> List[Hashable]:
+        return [entry.key for entry in self.matches]
+
+
+@dataclass
+class BankTelemetry:
+    """Cumulative per-bank counters (step-1 rates drive the paper's
+    early-termination energy story at fabric scale)."""
+
+    bank_id: int
+    occupancy: int
+    searches: int
+    energy: float
+    rows_examined: int
+    step1_eliminated: int
+
+    @property
+    def step1_miss_rate(self) -> float:
+        if self.rows_examined == 0:
+            return 0.0
+        return self.step1_eliminated / self.rows_examined
+
+
+@dataclass
+class FabricStats:
+    """Aggregate fabric telemetry snapshot."""
+
+    num_banks: int
+    rows_per_bank: int
+    width: int
+    occupancy: int
+    searches: int           # queries answered, including cache hits
+    array_searches: int     # queries that actually fired the arrays
+    energy_total: float
+    worst_latency: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    per_bank: List[BankTelemetry] = field(default_factory=list)
+
+
+class TcamFabric:
+    """Sharded multi-bank TCAM with batch search and optional caching.
+
+    >>> fabric = TcamFabric(banks=4, rows_per_bank=16, width=8)
+    >>> entry = fabric.insert("1010XXXX", key="rule-a")
+    >>> fabric.search_first("10101111").key
+    'rule-a'
+    """
+
+    def __init__(self, banks: int = 4, rows_per_bank: int = 1024,
+                 width: int = 64, design: DesignKind = DesignKind.DG_1T5, *,
+                 sharding: Optional[ShardPolicy] = None,
+                 energy_model: Optional[EnergyModel] = None,
+                 cache_size: int = 0):
+        if banks < 1:
+            raise OperationError("a fabric needs at least one bank")
+        self.design = design
+        self.width = width
+        self.rows_per_bank = rows_per_bank
+        # One shared energy model: the circuit tier is evaluated once for
+        # the whole fabric, and every bank prices operations identically.
+        model = energy_model or EnergyModel(design, width)
+        self.banks: List[CamBank] = [
+            CamBank(i, rows_per_bank, width, design, energy_model=model)
+            for i in range(banks)]
+        self.sharding = sharding or HashSharding(banks)
+        if self.sharding.num_banks != banks:
+            raise OperationError(
+                f"sharding policy covers {self.sharding.num_banks} banks, "
+                f"fabric has {banks}")
+        self._entries: Dict[Hashable, FabricEntry] = {}
+        self._row_entry: List[List[Optional[FabricEntry]]] = [
+            [None] * rows_per_bank for _ in range(banks)]
+        self._generations: List[int] = [0] * banks
+        self._cache: Optional[QueryCache] = (
+            QueryCache(cache_size) if cache_size else None)
+        self._seq = 0
+        self._searches = 0
+        self._array_searches = 0
+        self._worst_latency = 0.0
+        self._step1_eliminated = [0] * banks
+        self._rows_examined = [0] * banks
+
+    @classmethod
+    def striped(cls, words: Sequence[str], *, banks: int, width: int,
+                design: DesignKind = DesignKind.DG_1T5,
+                keys: Optional[Sequence[Hashable]] = None,
+                payloads: Optional[Sequence[Any]] = None,
+                cache_size: int = 0,
+                energy_model: Optional[EnergyModel] = None) -> "TcamFabric":
+        """Build a fabric sized for ``words``, striped round-robin.
+
+        Priority equals list position, so the cross-bank encoder
+        preserves the list's first-match-wins order — the construction
+        both the router and classifier rebuild on.
+        """
+        n = max(len(words), 1)
+        fabric = cls(banks=banks, rows_per_bank=(n + banks - 1) // banks,
+                     width=width, design=design, cache_size=cache_size,
+                     energy_model=energy_model)
+        if words:
+            fabric.insert_many(words, keys=keys,
+                               priorities=list(range(len(words))),
+                               payloads=payloads,
+                               banks=[i % banks for i in range(len(words))])
+        return fabric
+
+    # -- capacity ----------------------------------------------------------------
+
+    @property
+    def num_banks(self) -> int:
+        return len(self.banks)
+
+    @property
+    def capacity(self) -> int:
+        return self.num_banks * self.rows_per_bank
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def entry(self, key: Hashable) -> FabricEntry:
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise OperationError(f"no entry with key {key!r}") from None
+
+    def entries(self) -> List[FabricEntry]:
+        """All entries in global priority order."""
+        return sorted(self._entries.values(), key=lambda e: e.sort_key)
+
+    # -- write lifecycle ---------------------------------------------------------
+
+    def _allocate_key(self, key: Optional[Hashable]) -> Hashable:
+        if key is None:
+            return ("auto", self._seq)
+        return key
+
+    def _resolve_bank(self, key: Hashable, bank: Optional[int]) -> int:
+        if bank is None:
+            return self.sharding.bank_for(key)
+        if not 0 <= bank < self.num_banks:
+            raise OperationError(f"bank {bank} out of range")
+        return bank
+
+    def insert(self, word: str, key: Optional[Hashable] = None, *,
+               priority: Optional[float] = None, payload: Any = None,
+               bank: Optional[int] = None) -> FabricEntry:
+        """Place a word; returns its :class:`FabricEntry`.
+
+        ``key`` defaults to a unique auto key; ``priority`` defaults to
+        insertion order (earlier = higher priority); ``bank`` overrides
+        the sharding policy for explicit placement (round-robin loads,
+        locality experiments).
+        """
+        word = normalize_word(word)  # entry.word is always canonical
+        key = self._allocate_key(key)
+        if key in self._entries:
+            raise OperationError(f"duplicate key {key!r}; use update()")
+        bank_id = self._resolve_bank(key, bank)
+        row = self.banks[bank_id].insert(word)
+        entry = FabricEntry(
+            key=key, word=word,
+            priority=self._seq if priority is None else priority,
+            bank=bank_id, row=row, payload=payload, seq=self._seq)
+        self._seq += 1
+        self._entries[key] = entry
+        self._row_entry[bank_id][row] = entry
+        self._generations[bank_id] += 1
+        return entry
+
+    def insert_many(self, words: Sequence[str],
+                    keys: Optional[Sequence[Hashable]] = None, *,
+                    priorities: Optional[Sequence[float]] = None,
+                    payloads: Optional[Sequence[Any]] = None,
+                    banks: Optional[Sequence[int]] = None
+                    ) -> List[FabricEntry]:
+        """Bulk load through the vectorized packer, one write per bank.
+
+        Orders of magnitude faster than looped :meth:`insert` for large
+        tables (rule sets, routing snapshots) — words are grouped by
+        owning bank and packed in single NumPy passes.
+        """
+        n = len(words)
+        for name, seq in (("keys", keys), ("priorities", priorities),
+                          ("payloads", payloads), ("banks", banks)):
+            if seq is not None and len(seq) != n:
+                raise OperationError(f"{name} must match words in length")
+        # Pack (and thereby validate) every word up front, so the
+        # multi-bank insert below cannot fail halfway and leak allocated
+        # rows; the planes are sliced per bank to avoid re-packing.
+        words = list(words)
+        try:
+            value, care = pack_words(words, self.width)
+        except (TernaryValueError, TypeError):
+            # Alias symbols or non-string sequences (insert() accepts
+            # both): normalize, then re-pack — reraises real errors.
+            words = [normalize_word(w) for w in words]
+            value, care = pack_words(words, self.width)
+        entries: List[FabricEntry] = []
+        batch_keys: set = set()
+        by_bank: Dict[int, List[int]] = {}
+        for i in range(n):
+            key = self._allocate_key(keys[i] if keys else None)
+            if key in self._entries or key in batch_keys:
+                raise OperationError(f"duplicate key {key!r}; use update()")
+            batch_keys.add(key)
+            bank_id = self._resolve_bank(
+                key, banks[i] if banks is not None else None)
+            entry = FabricEntry(
+                key=key, word=words[i],
+                priority=(self._seq if priorities is None
+                          else priorities[i]),
+                bank=bank_id, row=-1,
+                payload=payloads[i] if payloads is not None else None,
+                seq=self._seq)
+            self._seq += 1
+            entries.append(entry)
+            by_bank.setdefault(bank_id, []).append(i)
+        for bank_id, indices in by_bank.items():
+            if len(indices) > self.banks[bank_id].free_count:
+                raise OperationError(
+                    f"bank {bank_id} cannot hold {len(indices)} more "
+                    f"words ({self.banks[bank_id].free_count} rows free)")
+        for bank_id, indices in by_bank.items():
+            rows = self.banks[bank_id].insert_many(
+                [words[i] for i in indices],
+                packed=(value[indices], care[indices]))
+            for row, i in zip(rows, indices):
+                entries[i].row = row
+            self._generations[bank_id] += 1
+        for entry in entries:
+            self._entries[entry.key] = entry
+            self._row_entry[entry.bank][entry.row] = entry
+        return entries
+
+    def delete(self, key: Hashable) -> FabricEntry:
+        """Remove an entry; its row returns to the bank's free pool."""
+        entry = self.entry(key)
+        self.banks[entry.bank].delete(entry.row)
+        del self._entries[key]
+        self._row_entry[entry.bank][entry.row] = None
+        self._generations[entry.bank] += 1
+        return entry
+
+    def update(self, key: Hashable, word: str, *,
+               payload: Any = None) -> FabricEntry:
+        """Rewrite an entry's word in place (bank/row/priority kept)."""
+        word = normalize_word(word)
+        entry = self.entry(key)
+        self.banks[entry.bank].update(entry.row, word)
+        entry.word = word
+        if payload is not None:
+            entry.payload = payload
+        self._generations[entry.bank] += 1
+        return entry
+
+    # -- search ------------------------------------------------------------------
+
+    def _combine(self, per_bank: List[SearchStats]) -> FabricSearchResult:
+        """Merge per-bank stats into one priority-ordered fabric result."""
+        energy = 0.0
+        latency = 0.0
+        matched: List[FabricEntry] = []
+        for bank_id, stats in enumerate(per_bank):
+            energy += stats.energy
+            latency = max(latency, stats.latency)
+            self._step1_eliminated[bank_id] += stats.step1_eliminated
+            self._rows_examined[bank_id] += stats.rows_searched
+            row_entry = self._row_entry[bank_id]
+            for row in stats.matches:
+                entry = row_entry[row]
+                if entry is not None:
+                    matched.append(entry)
+        matched.sort(key=lambda e: e.sort_key)
+        self._searches += 1
+        self._array_searches += 1
+        self._worst_latency = max(self._worst_latency, latency)
+        return FabricSearchResult(matches=matched, energy=energy,
+                                  latency=latency, per_bank=per_bank)
+
+    def search(self, query: str, mask: Optional[str] = None, *,
+               use_cache: bool = True) -> FabricSearchResult:
+        """Broadcast one query to every bank and merge by priority.
+
+        Semantically identical to calling ``bank.cam.search(query, mask)``
+        on each bank in order and aggregating — the loop the batched and
+        cached paths are tested against — but the query (and mask) are
+        packed once and probed into each bank via ``search_packed``
+        rather than re-packed per bank.
+        """
+        query = normalize_query(query)
+        if len(query) != self.width:
+            raise TernaryValueError(
+                f"query length {len(query)} != fabric width {self.width}")
+        cache = self._cache if use_cache else None
+        generations = tuple(self._generations)
+        if cache is not None:
+            hit = cache.get((query, mask), generations)
+            if hit is not None:
+                self._searches += 1
+                return self._from_cache(hit)
+        q_value = self.banks[0].cam.pack_query(query)
+        mask_bits = (self.banks[0].cam.pack_mask(mask)
+                     if mask is not None else None)
+        per_bank = [bank.cam.search_packed(q_value, mask_bits)
+                    for bank in self.banks]
+        result = self._combine(per_bank)
+        if cache is not None:
+            cache.put((query, mask), generations, self._snapshot(result))
+        return result
+
+    @staticmethod
+    def _snapshot(result: FabricSearchResult) -> FabricSearchResult:
+        """Copy stored/served cache entries so a caller mutating a
+        result's ``matches`` list cannot corrupt the cached original."""
+        return replace(result, matches=list(result.matches))
+
+    @classmethod
+    def _from_cache(cls, hit: FabricSearchResult) -> FabricSearchResult:
+        # A hit fires no array: report the cost actually paid (none) —
+        # including dropping per_bank, whose stats describe work the
+        # original search did — so summing result energies agrees with
+        # stats.energy_total.
+        return replace(hit, matches=list(hit.matches), energy=0.0,
+                       latency=0.0, per_bank=None, cached=True)
+
+    def search_first(self, query: str,
+                     mask: Optional[str] = None) -> Optional[FabricEntry]:
+        """Cross-bank priority-encoder output: the best-priority match."""
+        return self.search(query, mask).best
+
+    def search_batch(self, queries: Sequence[str],
+                     mask: Optional[str] = None, *,
+                     use_cache: bool = True) -> List[FabricSearchResult]:
+        """Vectorized multi-query search over every bank.
+
+        Returns one result per query, in order.  Without a cache this is
+        bit-identical (matches, energy, latency, bank counters) to
+        ``[self.search(q, mask) for q in queries]``; with a cache,
+        duplicate queries inside the batch are served once and counted
+        as hits.  Matches are always identical to the loop, but under
+        cache *capacity pressure* the batched path can do strictly less
+        array work than the loop (which re-fires arrays after LRU
+        evictions), so energy/hit telemetry may be lower — it reflects
+        the work actually performed.
+        """
+        queries = normalize_queries(queries, self.width)
+        if not queries:
+            return []
+        mask_bits = (self.banks[0].cam.pack_mask(mask)
+                     if mask is not None else None)
+        cache = self._cache if use_cache else None
+        generations = tuple(self._generations)
+        results: List[Optional[FabricSearchResult]] = [None] * len(queries)
+        if cache is not None:
+            pending: Dict[str, List[int]] = {}
+            for i, query in enumerate(queries):
+                if query in pending:
+                    # A duplicate of a query already being computed this
+                    # batch: the sequential loop would serve it from the
+                    # cache after the first occurrence, so don't record
+                    # another miss here — note_hit() accounts for it.
+                    pending[query].append(i)
+                    continue
+                hit = cache.get((query, mask), generations)
+                if hit is not None:
+                    self._searches += 1
+                    results[i] = self._from_cache(hit)
+                else:
+                    pending.setdefault(query, []).append(i)
+            unique = list(pending)
+        else:
+            unique = list(queries)
+        if unique:
+            computed = self._search_batch_arrays(unique, mask_bits)
+            for j, query in enumerate(unique):
+                result = computed[j]
+                if cache is not None:
+                    cache.put((query, mask), generations,
+                              self._snapshot(result))
+                    indices = pending[query]
+                    results[indices[0]] = result
+                    for extra in indices[1:]:
+                        cache.note_hit()
+                        self._searches += 1
+                        results[extra] = self._from_cache(result)
+                else:
+                    results[j] = result
+        return results  # type: ignore[return-value]
+
+    def _search_batch_arrays(self, queries: List[str],
+                             mask_bits) -> List[FabricSearchResult]:
+        """Fused batch core: per-bank count kernels + vectorized merge.
+
+        Reproduces exactly the arithmetic of ``_combine`` over a loop of
+        per-bank scalar searches — per-query energies are elementwise
+        sums in bank order, latencies elementwise maxima, and every cam
+        counter accumulates per query in sequence — without building a
+        :class:`SearchStats` per (query, bank) pair.
+        """
+        n_q = len(queries)
+        q_matrix = pack_queries(queries, self.width)
+        energy = np.zeros(n_q, dtype=np.float64)
+        latency = np.zeros(n_q, dtype=np.float64)
+        matched: List[List[FabricEntry]] = [[] for _ in range(n_q)]
+        for bank in self.banks:
+            cam = bank.cam
+            counts = batch_count_matches(cam, q_matrix, mask_bits)
+            e1, e2, lat1, lat2, two_step, early = cam._search_constants()
+            resolved = counts.step2_misses + counts.full_matches
+            if two_step:
+                if early:
+                    bank_energy = (counts.step1_eliminated * e1
+                                   + resolved * e2)
+                else:
+                    bank_energy = np.full(n_q, counts.rows_searched * e2)
+                bank_latency = np.where(resolved > 0, lat2, lat1)
+            else:
+                bank_energy = np.full(n_q, counts.rows_searched * e2)
+                bank_latency = np.full(n_q, lat2)
+            energy = energy + bank_energy          # bank order == loop order
+            np.maximum(latency, bank_latency, out=latency)
+            cam.search_count += n_q
+            for e in bank_energy.tolist():         # sequential like the loop
+                cam.energy_spent += e
+            bank_id = bank.bank_id
+            self._step1_eliminated[bank_id] += int(
+                counts.step1_eliminated.sum())
+            self._rows_examined[bank_id] += counts.rows_searched * n_q
+            row_entry = self._row_entry[bank_id]
+            for qi, row in zip(counts.match_q, counts.match_rows):
+                entry = row_entry[row]
+                if entry is not None:
+                    matched[qi].append(entry)
+        energy_list = energy.tolist()
+        latency_list = latency.tolist()
+        results: List[FabricSearchResult] = []
+        for i in range(n_q):
+            entries = matched[i]
+            if len(entries) > 1:
+                entries.sort(key=lambda e: e.sort_key)
+            results.append(FabricSearchResult(
+                matches=entries, energy=energy_list[i],
+                latency=latency_list[i]))
+        self._searches += n_q
+        self._array_searches += n_q
+        if latency_list:
+            self._worst_latency = max(self._worst_latency,
+                                      max(latency_list))
+        return results
+
+    # -- telemetry ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> FabricStats:
+        per_bank = [
+            BankTelemetry(
+                bank_id=bank.bank_id, occupancy=bank.occupancy,
+                searches=bank.cam.search_count,
+                energy=bank.cam.energy_spent,
+                rows_examined=self._rows_examined[bank.bank_id],
+                step1_eliminated=self._step1_eliminated[bank.bank_id])
+            for bank in self.banks]
+        return FabricStats(
+            num_banks=self.num_banks, rows_per_bank=self.rows_per_bank,
+            width=self.width, occupancy=self.occupancy,
+            searches=self._searches, array_searches=self._array_searches,
+            energy_total=sum(bank.cam.energy_spent for bank in self.banks),
+            worst_latency=self._worst_latency,
+            cache_hits=self._cache.hits if self._cache else 0,
+            cache_misses=self._cache.misses if self._cache else 0,
+            cache_hit_rate=self._cache.hit_rate if self._cache else 0.0,
+            per_bank=per_bank)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<TcamFabric {self.num_banks}x{self.rows_per_bank}x"
+                f"{self.width} ({self.design}), {self.occupancy} entries>")

@@ -1,0 +1,100 @@
+"""Sharding policies: which bank owns a key.
+
+A policy is a pure function of the key, so any fabric replica places the
+same key in the same bank — the property that makes routed point lookups
+and shard-scoped cache invalidation possible.  Hash sharding balances
+arbitrary keys; range sharding keeps numerically adjacent keys together
+(useful when queries carry locality, e.g. address ranges).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from typing import Hashable, List
+
+from ..errors import OperationError
+
+__all__ = ["ShardPolicy", "HashSharding", "RangeSharding"]
+
+
+class ShardPolicy(ABC):
+    """Maps every key to the bank that owns it."""
+
+    def __init__(self, num_banks: int):
+        if num_banks < 1:
+            raise OperationError("a fabric needs at least one bank")
+        self.num_banks = num_banks
+
+    @abstractmethod
+    def bank_for(self, key: Hashable) -> int:
+        """Owning bank index in ``[0, num_banks)``."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} over {self.num_banks} banks>"
+
+
+class HashSharding(ShardPolicy):
+    """Stable hash placement (process-independent, unlike ``hash()``).
+
+    Uses blake2b of a canonical key encoding so placement survives
+    interpreter restarts and ``PYTHONHASHSEED`` — required for the
+    fabric's stats and cache behavior to be reproducible run to run.
+    Keys are therefore restricted to value-like types (str, bytes,
+    int, float, bool, None, and tuples of those): an arbitrary object's
+    default ``repr`` embeds its address, which would silently break the
+    stability guarantee.
+    """
+
+    @classmethod
+    def _canonical(cls, key: Hashable) -> str:
+        if key is None or isinstance(key, (str, bytes, int, float)):
+            return f"{type(key).__name__}:{key!r}"
+        if isinstance(key, tuple):
+            return "(" + ",".join(cls._canonical(k) for k in key) + ")"
+        raise OperationError(
+            f"hash sharding needs value-like keys (str/bytes/int/float/"
+            f"tuple) for stable placement, got {type(key).__name__}")
+
+    def bank_for(self, key: Hashable) -> int:
+        digest = hashlib.blake2b(self._canonical(key).encode("utf-8"),
+                                 digest_size=8).digest()
+        return int.from_bytes(digest, "little") % self.num_banks
+
+
+class RangeSharding(ShardPolicy):
+    """Contiguous key ranges per bank over an integer key space.
+
+    Keys may be ints or binary ('0'/'1') strings; the key space
+    ``[0, 2**key_bits)`` is split into ``num_banks`` equal slices.
+    """
+
+    def __init__(self, num_banks: int, key_bits: int):
+        super().__init__(num_banks)
+        if key_bits < 1:
+            raise OperationError("key_bits must be positive")
+        self.key_bits = key_bits
+        span = 1 << key_bits
+        # Upper (exclusive) boundary of each bank's slice.
+        self._bounds: List[int] = [
+            (span * (i + 1)) // num_banks for i in range(num_banks)]
+
+    def _key_value(self, key: Hashable) -> int:
+        if isinstance(key, bool):
+            raise OperationError("boolean keys are not range-shardable")
+        if isinstance(key, int):
+            value = key
+        elif isinstance(key, str) and key and set(key) <= {"0", "1"}:
+            value = int(key, 2)
+        else:
+            raise OperationError(
+                f"range sharding needs int or binary-string keys, "
+                f"got {key!r}")
+        if not 0 <= value < (1 << self.key_bits):
+            raise OperationError(
+                f"key {value} outside the {self.key_bits}-bit key space")
+        return value
+
+    def bank_for(self, key: Hashable) -> int:
+        return bisect_right(self._bounds, self._key_value(key))

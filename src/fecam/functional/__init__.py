@@ -1,5 +1,7 @@
 """Behavioral ternary CAM engine with circuit-tier energy annotation."""
 
-from .engine import EnergyModel, SearchStats, TernaryCAM
+from .engine import (CHUNK_BITS, EnergyModel, SearchStats, TernaryCAM,
+                     n_chunks_for, pack_word, pack_words)
 
-__all__ = ["TernaryCAM", "SearchStats", "EnergyModel"]
+__all__ = ["TernaryCAM", "SearchStats", "EnergyModel", "pack_word",
+           "pack_words", "CHUNK_BITS", "n_chunks_for"]

@@ -24,9 +24,77 @@ from ..errors import OperationError, TernaryValueError
 from ..cam.states import normalize_query, normalize_word
 from ..cam.ops import SearchPolicy
 
-__all__ = ["TernaryCAM", "SearchStats", "EnergyModel"]
+__all__ = ["TernaryCAM", "SearchStats", "EnergyModel", "pack_word",
+           "pack_words", "CHUNK_BITS", "n_chunks_for"]
 
 _CHUNK = 64
+#: Bits per packed storage chunk (public alias of the internal constant).
+CHUNK_BITS = _CHUNK
+
+_ORD_0, _ORD_1, _ORD_X = ord("0"), ord("1"), ord("X")
+
+
+def n_chunks_for(width: int) -> int:
+    """Number of 64-bit chunks needed to hold ``width`` ternary cells."""
+    return (width + _CHUNK - 1) // _CHUNK
+
+
+def _pack_bitplane(bits: np.ndarray, width: int) -> np.ndarray:
+    """Pack an (N, width) boolean plane into (N, n_chunks) uint64.
+
+    Bit ``pos`` of a word lands in chunk ``pos // 64`` at bit position
+    ``pos % 64`` — identical layout to the scalar packer the engine has
+    always used, so packed content is interchangeable.
+    """
+    n = bits.shape[0]
+    padded = n_chunks_for(width) * _CHUNK
+    if padded != width:
+        full = np.zeros((n, padded), dtype=bool)
+        full[:, :width] = bits
+        bits = full
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    return np.ascontiguousarray(packed).view("<u8").astype(np.uint64,
+                                                           copy=False)
+
+
+def pack_words(words: Sequence[str], width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized bulk packer: N ternary words -> (value, care) matrices.
+
+    Each word must be a canonical ``'01X'`` string of exactly ``width``
+    symbols (run :func:`fecam.cam.states.normalize_word` first for alias
+    forms such as ``*``/``?``/lowercase).  Returns two ``(N, n_chunks)``
+    uint64 arrays with the same bit layout as the engine's row storage.
+    This replaces the per-character Python loop on bulk-write hot paths.
+    """
+    n_chunks = n_chunks_for(width)
+    n = len(words)
+    if n == 0:
+        return (np.zeros((0, n_chunks), dtype=np.uint64),
+                np.zeros((0, n_chunks), dtype=np.uint64))
+    for word in words:
+        if len(word) != width:
+            raise TernaryValueError(
+                f"every word must have length {width} "
+                f"(got one of length {len(word)})")
+    try:
+        buf = "".join(words).encode("ascii")
+    except UnicodeEncodeError as exc:
+        raise TernaryValueError(f"non-ASCII symbol in ternary word: {exc}")
+    sym = np.frombuffer(buf, dtype=np.uint8).reshape(n, width)
+    is_one = sym == _ORD_1
+    is_x = sym == _ORD_X
+    if not ((sym == _ORD_0) | is_one | is_x).all():
+        bad = sym[~((sym == _ORD_0) | is_one | is_x)][0]
+        raise TernaryValueError(
+            f"invalid ternary symbol {chr(bad)!r}; words must be "
+            "canonical '01X' strings")
+    return _pack_bitplane(is_one, width), _pack_bitplane(~is_x, width)
+
+
+def pack_word(word: str, width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack one canonical ternary word into (value, care) chunk vectors."""
+    value, care = pack_words([word], width)
+    return value[0], care[0]
 
 
 @dataclass
@@ -99,7 +167,7 @@ class TernaryCAM:
         self.design = design
         self.policy = policy
         self._energy = energy_model or EnergyModel(design, width)
-        n_chunks = (width + _CHUNK - 1) // _CHUNK
+        n_chunks = n_chunks_for(width)
         self._n_chunks = n_chunks
         self._value = np.zeros((rows, n_chunks), dtype=np.uint64)
         self._care = np.zeros((rows, n_chunks), dtype=np.uint64)
@@ -111,6 +179,7 @@ class TernaryCAM:
         self.search_count = 0
         self.write_count = 0
         self.energy_spent = 0.0
+        self._two_step_search = design.uses_two_step_search
 
     @staticmethod
     def _step_masks(width: int, n_chunks: int):
@@ -125,16 +194,7 @@ class TernaryCAM:
         return even, odd
 
     def _pack(self, word: str):
-        value = np.zeros(self._n_chunks, dtype=np.uint64)
-        care = np.zeros(self._n_chunks, dtype=np.uint64)
-        for pos, symbol in enumerate(word):
-            chunk, bit = divmod(pos, _CHUNK)
-            if symbol == "X":
-                continue
-            care[chunk] |= np.uint64(1 << bit)
-            if symbol == "1":
-                value[chunk] |= np.uint64(1 << bit)
-        return value, care
+        return pack_word(word, len(word))
 
     # -- content -------------------------------------------------------------------
 
@@ -152,11 +212,65 @@ class TernaryCAM:
         model = self._energy.resolve()
         self.energy_spent += (model.write_energy_per_cell or 0.0) * self.width
 
+    def write_many(self, rows: Sequence[int], words: Sequence[str], *,
+                   packed: Optional[Tuple[np.ndarray, np.ndarray]] = None
+                   ) -> None:
+        """Bulk write: pack every word in one vectorized pass.
+
+        Equivalent to ``for row, word in zip(rows, words): write(row, word)``
+        (same validation, counters, and energy accounting) but without the
+        per-character packing loop — the hot path for fabric bulk loads.
+        Callers that already packed the words (:func:`pack_words`) pass
+        the (value, care) planes via ``packed`` to skip re-packing.
+        """
+        if len(rows) != len(words):
+            raise OperationError("rows and words must have equal length")
+        if len(rows) == 0:  # not `not rows`: numpy arrays are valid input
+            return
+        row_arr = np.asarray(rows, dtype=np.int64)
+        if row_arr.min() < 0 or row_arr.max() >= self.rows:
+            raise OperationError("row index out of range in bulk write")
+        if len(np.unique(row_arr)) != len(row_arr):
+            raise OperationError("duplicate row indices in bulk write")
+        if packed is not None:
+            value, care = packed
+            if value.shape != (len(rows), self._n_chunks) or \
+                    care.shape != (len(rows), self._n_chunks):
+                raise OperationError("packed planes do not match rows/width")
+        else:
+            try:
+                value, care = pack_words(list(words), self.width)
+            except (TernaryValueError, TypeError):
+                # Alias symbols ('*', '?', lowercase) or non-string
+                # sequences (what write() accepts): normalizing path.
+                value, care = pack_words([normalize_word(w) for w in words],
+                                         self.width)
+        self._value[row_arr] = value
+        self._care[row_arr] = care
+        self._valid[row_arr] = True
+        self.write_count += len(rows)
+        model = self._energy.resolve()
+        per_write = (model.write_energy_per_cell or 0.0) * self.width
+        for _ in range(len(rows)):  # accumulate like sequential writes
+            self.energy_spent += per_write
+
     def erase(self, row: int) -> None:
+        """Invalidate a row and zero its stored bits.
+
+        Clearing ``_value``/``_care`` (not just ``_valid``) guarantees an
+        erased row can never ghost-match through stale bits in any masked
+        or packed search path that forgets to consult the valid vector.
+        """
+        if not 0 <= row < self.rows:
+            raise OperationError(f"row {row} out of range")
         self._valid[row] = False
+        self._value[row] = 0
+        self._care[row] = 0
 
     def stored_word(self, row: int) -> Optional[str]:
         if not self._valid[row]:
+            assert not self._value[row].any() and not self._care[row].any(), \
+                f"invalid row {row} retains stale stored bits"
             return None
         symbols = []
         for pos in range(self.width):
@@ -176,57 +290,116 @@ class TernaryCAM:
 
     # -- search -------------------------------------------------------------------
 
-    def search(self, query: str, mask: str = None) -> SearchStats:
-        """Parallel search; returns matches plus early-termination stats.
-
-        ``mask`` is the classic TCAM *global masking register*: positions
-        marked '0' are excluded from the comparison for this search (a
-        per-search wildcard on the query side).
-        """
-        query = normalize_query(query)
+    def pack_query(self, query: str) -> np.ndarray:
+        """Pack a canonical binary query into its uint64 chunk vector."""
         if len(query) != self.width:
             raise TernaryValueError(
                 f"query length {len(query)} != array width {self.width}")
-        q_value, _ = self._pack(query)
-        diff = (q_value[None, :] ^ self._value) & self._care
-        if mask is not None:
-            if len(mask) != self.width:
-                raise TernaryValueError("mask length != array width")
-            mask_bits, _ = self._pack(
-                "".join("1" if m == "1" else "0" for m in mask))
-            diff = diff & mask_bits[None, :]
-        miss_step1 = ((diff & self._even_mask[None, :]) != 0).any(axis=1)
-        miss_step2 = ((diff & self._odd_mask[None, :]) != 0).any(axis=1)
-        miss_any = miss_step1 | miss_step2
-        valid = self._valid
-        match_rows = np.nonzero(valid & ~miss_any)[0]
+        if any(symbol not in "01" for symbol in query):
+            # The ternary packer would silently treat 'X' as a wildcard
+            # value bit; a *query* must be fully specified.
+            raise TernaryValueError(
+                "query must contain only '0'/'1' symbols")
+        q_value, _ = pack_word(query, self.width)
+        return q_value
 
-        step1_elim = int((valid & miss_step1).sum())
-        step2_miss = int((valid & ~miss_step1 & miss_step2).sum())
-        full_match = int(len(match_rows))
-        rows_searched = int(valid.sum())
+    def pack_mask(self, mask: str) -> np.ndarray:
+        """Pack a global-mask register value ('1' = compare, '0' = skip)."""
+        if len(mask) != self.width:
+            raise TernaryValueError("mask length != array width")
+        if any(symbol not in "01" for symbol in mask):
+            raise TernaryValueError(
+                "mask must contain only '0'/'1' symbols")
+        mask_bits, _ = pack_word(mask, self.width)
+        return mask_bits
 
-        model = self._energy.resolve()
-        early = self.policy.early_termination and self.design.uses_two_step_search
-        e1 = model.e_1step_per_bit * self.width
-        e2 = model.e_2step_per_bit * self.width
-        if self.design.uses_two_step_search:
+    def _search_constants(self) -> Tuple[float, float, float, float, bool, bool]:
+        """Per-word FoM constants (e1, e2, lat1, lat2, two_step, early).
+
+        Model and policy fields are read live — overriding
+        :class:`EnergyModel` fields mid-run for what-if studies must
+        take effect on the next search, exactly as a fresh ``resolve()``
+        would.  Only the design's two-step flag is cached (at
+        construction): ``_finish_search`` runs for every (query, bank)
+        pair of a batch, and the enum-property chain would dominate the
+        vectorized kernel.
+        """
+        model = self._energy
+        if model.e_1step_per_bit is None:
+            model.resolve()
+        two_step = self._two_step_search
+        return (model.e_1step_per_bit * self.width,
+                model.e_2step_per_bit * self.width,
+                model.latency_1step, model.latency_2step,
+                two_step, self.policy.early_termination and two_step)
+
+    def _finish_search(self, match_rows: List[int], rows_searched: int,
+                       step1_elim: int, step2_miss: int) -> SearchStats:
+        """Shared energy/latency accounting for every search path.
+
+        Scalar, packed, and batched searches all funnel through here with
+        plain-int counts, so their energy numbers are bit-identical.
+        """
+        full_match = len(match_rows)
+        e1, e2, lat1, lat2, two_step, early = self._search_constants()
+        if two_step:
             if early:
                 energy = step1_elim * e1 + (step2_miss + full_match) * e2
             else:
                 energy = rows_searched * e2
-            needs_step2 = (step2_miss + full_match) > 0
-            latency = model.latency_2step if needs_step2 else model.latency_1step
+            latency = lat2 if (step2_miss + full_match) > 0 else lat1
         else:
             energy = rows_searched * e2
-            latency = model.latency_2step
+            latency = lat2
         self.search_count += 1
         self.energy_spent += energy
-        return SearchStats(matches=[int(r) for r in match_rows],
-                           rows_searched=rows_searched,
+        return SearchStats(matches=match_rows, rows_searched=rows_searched,
                            step1_eliminated=step1_elim,
                            step2_misses=step2_miss, full_matches=full_match,
                            energy=energy, latency=latency)
+
+    def search_packed(self, q_value: np.ndarray,
+                      mask_bits: Optional[np.ndarray] = None) -> SearchStats:
+        """Fast-path search on an already-packed query chunk vector.
+
+        Skips string normalization and packing — callers that search the
+        same query against many arrays (the fabric tier) pack once via
+        :meth:`pack_query` / :func:`pack_words` and reuse the vector.
+        """
+        q_value = np.asarray(q_value, dtype=np.uint64)
+        if q_value.shape != (self._n_chunks,):
+            raise TernaryValueError(
+                f"packed query must have shape ({self._n_chunks},), "
+                f"got {q_value.shape}")
+        diff = (q_value[None, :] ^ self._value) & self._care
+        if mask_bits is not None:
+            mask_bits = np.asarray(mask_bits, dtype=np.uint64)
+            if mask_bits.shape != (self._n_chunks,):
+                raise TernaryValueError(
+                    f"packed mask must have shape ({self._n_chunks},), "
+                    f"got {mask_bits.shape}")
+            diff = diff & mask_bits[None, :]
+        miss_step1 = ((diff & self._even_mask[None, :]) != 0).any(axis=1)
+        miss_step2 = ((diff & self._odd_mask[None, :]) != 0).any(axis=1)
+        valid = self._valid
+        match_rows = np.nonzero(valid & ~(miss_step1 | miss_step2))[0]
+        step1_elim = int((valid & miss_step1).sum())
+        step2_miss = int((valid & ~miss_step1 & miss_step2).sum())
+        return self._finish_search([int(r) for r in match_rows],
+                                   int(valid.sum()), step1_elim, step2_miss)
+
+    def search(self, query: str, mask: Optional[str] = None) -> SearchStats:
+        """Parallel search; returns matches plus early-termination stats.
+
+        ``mask`` is the classic TCAM *global masking register*: positions
+        marked '0' are excluded from the comparison for this search (a
+        per-search wildcard on the query side).  It must contain only
+        '0'/'1' symbols.
+        """
+        query = normalize_query(query)
+        q_value = self.pack_query(query)
+        mask_bits = self.pack_mask(mask) if mask is not None else None
+        return self.search_packed(q_value, mask_bits)
 
     def search_first(self, query: str) -> Optional[int]:
         """Priority-encoder semantics: lowest matching row index."""

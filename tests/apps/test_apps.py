@@ -78,6 +78,93 @@ class TestRouter:
             assert r.lookup(addr) == r.lookup_reference(addr)
 
 
+class TestRouterOnFabric:
+    """Multi-bank / cached / batched router paths (fabric tier)."""
+
+    def _random_router(self, rng, **kw):
+        router = TcamRouter(capacity=128, **kw)
+        router.add_route("0.0.0.0/0", "default")
+        for i in range(40):
+            net = rng.randrange(0, 1 << 32)
+            length = rng.randrange(4, 30)
+            router.add_route(f"{int_to_ip(net)}/{length}", f"hop{i}")
+        return router
+
+    def test_multibank_matches_reference(self):
+        rng = random.Random(17)
+        router = self._random_router(rng, banks=4, cache_size=32)
+        for _ in range(150):
+            addr = int_to_ip(rng.randrange(0, 1 << 32))
+            assert router.lookup(addr) == router.lookup_reference(addr)
+
+    def test_lookup_batch_matches_scalar(self):
+        rng = random.Random(23)
+        router = self._random_router(rng, banks=3)
+        addrs = [int_to_ip(rng.randrange(0, 1 << 32)) for _ in range(100)]
+        assert router.lookup_batch(addrs) == \
+            [router.lookup_reference(a) for a in addrs]
+        assert router.lookup_batch([]) == []
+
+    def test_cache_serves_hot_lookups(self):
+        router = TcamRouter(capacity=8, banks=2, cache_size=8)
+        router.add_route("10.0.0.0/8", "hop")
+        router.lookup("10.1.1.1")
+        energy = router.stats["energy_j"]
+        for _ in range(5):
+            assert router.lookup("10.1.1.1") == "hop"
+        assert router.stats["energy_j"] == energy  # all served from cache
+        assert router.stats["cache_hits"] == 5
+
+    def test_stats_keys_stable_before_first_lookup(self):
+        router = TcamRouter(banks=4)
+        assert set(router.stats) == \
+            {"searches", "energy_j", "banks", "cache_hits"}
+
+
+class TestClassifierOnFabric:
+    """Multi-bank / batched classifier paths (fabric tier)."""
+
+    def _rules(self, cl):
+        cl.add_rule(Rule(name="a", dst_port_range=(100, 1000)))
+        cl.add_rule(Rule(name="b", src_prefix=(ip_to_int("10.0.0.0"), 8)))
+        cl.add_rule(Rule(name="c", protocol=17))
+
+    def test_multibank_matches_reference(self):
+        rng = random.Random(31)
+        cl = TcamClassifier(banks=4, cache_size=16)
+        self._rules(cl)
+        for _ in range(100):
+            p = Packet(src_ip=rng.randrange(1 << 32),
+                       dst_ip=rng.randrange(1 << 32),
+                       src_port=rng.randrange(1 << 16),
+                       dst_port=rng.randrange(1 << 16),
+                       protocol=rng.choice((6, 17)))
+            assert cl.classify(p) == cl.classify_reference(p)
+
+    def test_classify_batch_matches_scalar(self):
+        rng = random.Random(37)
+        cl = TcamClassifier(banks=3)
+        self._rules(cl)
+        packets = [Packet(src_ip=rng.randrange(1 << 32),
+                          dst_ip=rng.randrange(1 << 32),
+                          src_port=rng.randrange(1 << 16),
+                          dst_port=rng.randrange(1 << 16),
+                          protocol=rng.choice((6, 17)))
+                   for _ in range(80)]
+        assert cl.classify_batch(packets) == \
+            [cl.classify_reference(p) for p in packets]
+        assert cl.classify_batch([]) == []
+
+    def test_priority_preserved_across_banks(self):
+        cl = TcamClassifier(banks=4)
+        cl.add_rule(Rule(name="web", dst_port_range=(80, 443)))
+        cl.add_rule(Rule(name="all", dst_port_range=(0, 65535)))
+        p80 = Packet(src_ip=0, dst_ip=0, src_port=1, dst_port=80,
+                     protocol=6)
+        assert cl.classify(p80) == "web"
+        assert cl.classify_batch([p80]) == ["web"]
+
+
 class TestCache:
     def test_miss_then_hit(self):
         c = TcamCache(lines=4, block_bits=4, address_bits=16)

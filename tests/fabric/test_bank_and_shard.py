@@ -1,0 +1,132 @@
+"""Tests for the bank row allocator and the sharding policies."""
+
+import pytest
+
+from fecam.designs import DesignKind
+from fecam.errors import OperationError, TernaryValueError
+from fecam.fabric import CamBank, HashSharding, RangeSharding
+from fecam.functional import EnergyModel
+
+
+def fast_model(width):
+    return EnergyModel(DesignKind.DG_1T5, width, e_1step_per_bit=1e-15,
+                       e_2step_per_bit=2e-15, latency_1step=1e-9,
+                       latency_2step=2e-9, write_energy_per_cell=0.4e-15)
+
+
+def make_bank(rows=4, width=8):
+    return CamBank(bank_id=0, rows=rows, width=width,
+                   energy_model=fast_model(width))
+
+
+class TestCamBank:
+    def test_insert_allocates_lowest_row(self):
+        bank = make_bank()
+        assert bank.insert("1010XXXX") == 0
+        assert bank.insert("0101XXXX") == 1
+        assert bank.occupancy == 2
+        assert bank.free_count == 2
+
+    def test_delete_recycles_row(self):
+        bank = make_bank()
+        bank.insert("10101010")
+        bank.insert("01010101")
+        bank.delete(0)
+        assert bank.cam.stored_word(0) is None
+        assert bank.insert("11111111") == 0  # lowest free row reused
+
+    def test_full_bank_rejects_insert(self):
+        bank = make_bank(rows=2)
+        bank.insert("10101010")
+        bank.insert("01010101")
+        assert bank.is_full
+        with pytest.raises(OperationError):
+            bank.insert("11111111")
+
+    def test_failed_write_releases_row(self):
+        bank = make_bank()
+        with pytest.raises(TernaryValueError):
+            bank.insert("101")  # wrong width
+        assert bank.free_count == 4
+        assert bank.insert("10101010") == 0
+
+    def test_insert_many_matches_sequential(self):
+        words = ["10101010", "0101XXXX", "XXXXXXXX"]
+        bulk = make_bank()
+        seq = make_bank()
+        rows_bulk = bulk.insert_many(words)
+        rows_seq = [seq.insert(w) for w in words]
+        assert rows_bulk == rows_seq
+        for row in rows_bulk:
+            assert bulk.cam.stored_word(row) == seq.cam.stored_word(row)
+        assert bulk.cam.energy_spent == seq.cam.energy_spent
+        assert bulk.cam.write_count == seq.cam.write_count
+
+    def test_insert_many_over_capacity(self):
+        bank = make_bank(rows=2)
+        with pytest.raises(OperationError):
+            bank.insert_many(["10101010"] * 3)
+        assert bank.free_count == 2  # nothing leaked
+
+    def test_update_requires_occupied_row(self):
+        bank = make_bank()
+        with pytest.raises(OperationError):
+            bank.update(0, "10101010")
+        row = bank.insert("10101010")
+        bank.update(row, "0000XXXX")
+        assert bank.cam.stored_word(row) == "0000XXXX"
+
+    def test_delete_validation(self):
+        bank = make_bank()
+        with pytest.raises(OperationError):
+            bank.delete(0)  # not occupied
+        with pytest.raises(OperationError):
+            bank.delete(99)
+
+
+class TestHashSharding:
+    def test_stable_and_in_range(self):
+        policy = HashSharding(8)
+        placements = {key: policy.bank_for(key)
+                      for key in ["a", "b", ("net", 24), 17]}
+        for key, bank in placements.items():
+            assert 0 <= bank < 8
+            assert policy.bank_for(key) == bank  # deterministic
+
+    def test_spreads_keys(self):
+        policy = HashSharding(8)
+        banks = {policy.bank_for(i) for i in range(256)}
+        assert len(banks) == 8  # every bank gets traffic
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(OperationError):
+            HashSharding(0)
+
+
+class TestRangeSharding:
+    def test_contiguous_slices(self):
+        policy = RangeSharding(4, key_bits=8)
+        assert policy.bank_for(0) == 0
+        assert policy.bank_for(63) == 0
+        assert policy.bank_for(64) == 1
+        assert policy.bank_for(255) == 3
+
+    def test_binary_string_keys(self):
+        policy = RangeSharding(2, key_bits=8)
+        assert policy.bank_for("00000000") == 0
+        assert policy.bank_for("11111111") == 1
+
+    def test_monotone_over_key_space(self):
+        policy = RangeSharding(3, key_bits=6)
+        banks = [policy.bank_for(v) for v in range(64)]
+        assert banks == sorted(banks)
+        assert set(banks) == {0, 1, 2}
+
+    def test_validation(self):
+        policy = RangeSharding(2, key_bits=4)
+        with pytest.raises(OperationError):
+            policy.bank_for(16)  # outside key space
+        with pytest.raises(OperationError):
+            policy.bank_for("banana")
+        with pytest.raises(OperationError):
+            RangeSharding(2, key_bits=0)

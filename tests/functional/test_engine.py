@@ -153,7 +153,94 @@ class TestGlobalMask:
     def test_mask_length_checked(self):
         t = make()
         t.write(0, "11110000")
-        import pytest as _pytest
-        from fecam.errors import TernaryValueError as _TVE
-        with _pytest.raises(_TVE):
+        with pytest.raises(TernaryValueError):
             t.search("11110000", mask="111")
+
+    def test_mask_symbols_validated(self):
+        """Non-binary mask symbols raise instead of coercing to '0'."""
+        t = make()
+        t.write(0, "11110000")
+        for bad in ("1111110X", "2" * 8, "11111 00"):
+            with pytest.raises(TernaryValueError):
+                t.search("11110000", mask=bad)
+
+
+class TestEraseInvariant:
+    """Erased rows must not retain stale value/care bits (ghost matches)."""
+
+    def test_erase_zeroes_stored_planes(self):
+        t = make()
+        t.write(0, "1010XX01")
+        t.erase(0)
+        assert not t._value[0].any()
+        assert not t._care[0].any()
+        assert t.stored_word(0) is None
+
+    def test_erased_row_cannot_ghost_match_packed_paths(self):
+        t = make()
+        t.write(0, "10101010")
+        t.erase(0)
+        # Direct packed probe of the stale row content: all-zero care
+        # would wildcard-match everything if _value/_care leaked, so the
+        # valid vector plus the zeroing must both hold.
+        q_value = t.pack_query("10101010")
+        assert t.search_packed(q_value).matches == []
+
+    def test_erase_validates_row(self):
+        t = make()
+        with pytest.raises(OperationError):
+            t.erase(99)
+
+
+class TestPackedHelpers:
+    """Vectorized packing and the packed-query fast path."""
+
+    def test_pack_words_rejects_bad_symbols(self):
+        from fecam.functional import pack_words
+        with pytest.raises(TernaryValueError):
+            pack_words(["01Z0"], 4)
+        with pytest.raises(TernaryValueError):
+            pack_words(["010"], 4)  # wrong width
+
+    def test_search_packed_equals_search(self):
+        t = make()
+        t.write(0, "1010XXXX")
+        t.write(5, "XXXXXXXX")
+        q = t.pack_query("10101111")
+        a = t.search("10101111")
+        b = t.search_packed(q)
+        assert a.matches == b.matches
+        assert a.energy == b.energy
+
+    def test_search_packed_validates_shape(self):
+        import numpy as np
+        t = make()
+        with pytest.raises(TernaryValueError):
+            t.search_packed(np.zeros(3, dtype=np.uint64))
+
+    def test_write_many_equals_sequential_writes(self):
+        words = ["1010XX01", "XXXXXXXX", "00001111"]
+        bulk, seq = make(), make()
+        bulk.write_many([2, 0, 5], words)
+        for row, word in zip([2, 0, 5], words):
+            seq.write(row, word)
+        for row in range(8):
+            assert bulk.stored_word(row) == seq.stored_word(row)
+        assert bulk.energy_spent == seq.energy_spent
+        assert bulk.write_count == seq.write_count
+
+    def test_write_many_validation(self):
+        t = make()
+        with pytest.raises(OperationError):
+            t.write_many([0, 0], ["10101010", "01010101"])  # dup rows
+        with pytest.raises(OperationError):
+            t.write_many([0, 99], ["10101010", "01010101"])
+        with pytest.raises(OperationError):
+            t.write_many([0], ["10101010", "01010101"])  # length mismatch
+        t.write_many([], [])  # no-op
+        assert t.occupancy == 0
+
+    def test_write_many_accepts_alias_symbols(self):
+        t = make()
+        t.write_many([0], ["10*?10x1"])  # normalizing slow path
+        assert t.stored_word(0) == "10XX10X1"
