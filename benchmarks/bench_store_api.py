@@ -1,0 +1,213 @@
+"""Store-API throughput: every application workload on both backends.
+
+Runs all five `fecam.apps` workloads (router LPM, packet classifier,
+associative cache, genomics seed index, Hamming nearest-neighbor)
+through the unified :class:`~fecam.store.CamStore` front door, once on
+the single-array backend and once on a sharded fabric backend with
+query caching, and reports queries/sec plus store telemetry for each
+combination.  Emits JSON (``benchmarks/results/store_api.json``) for
+the bench trajectory.
+
+Run directly (``python benchmarks/bench_store_api.py``; ``--tiny``
+shrinks every workload for CI smoke), or via pytest
+(``pytest benchmarks/bench_store_api.py``).
+"""
+
+import argparse
+import json
+import os
+import random
+import time
+from dataclasses import replace
+
+from fecam.apps import (HammingSearcher, Packet, Rule, SeedIndex,
+                        TcamCache, TcamClassifier, TcamRouter, int_to_ip)
+from fecam.designs import DesignKind
+from fecam.functional import EnergyModel
+from fecam.store import StoreConfig
+
+FULL = dict(routes=512, lookups=2000, rules=24, packets=1500,
+            cache_lines=64, accesses=1500, reference_len=4096,
+            seed_lookups=1000, hamming_rows=48, hamming_queries=150)
+TINY = dict(routes=16, lookups=40, rules=4, packets=30, cache_lines=8,
+            accesses=40, reference_len=128, seed_lookups=20,
+            hamming_rows=8, hamming_queries=6)
+
+FABRIC_BANKS = 8
+CACHE_SIZE = 512
+
+
+def _fast_model(width):
+    """Fixed FoM numbers: benchmarks time search, not SPICE."""
+    return EnergyModel(DesignKind.DG_1T5, width, e_1step_per_bit=0.8e-15,
+                       e_2step_per_bit=1.3e-15, latency_1step=0.7e-9,
+                       latency_2step=2.3e-9,
+                       write_energy_per_cell=0.41e-15)
+
+
+def _configs():
+    return {
+        "array": StoreConfig(),
+        "fabric": StoreConfig(banks=FABRIC_BANKS, cache_size=CACHE_SIZE),
+    }
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _store_summary(stats):
+    return {"backend": stats.backend, "banks": stats.banks,
+            "searches": stats.searches,
+            "array_searches": stats.array_searches,
+            "cache_hit_rate": round(stats.cache_hit_rate, 4),
+            "energy_j": stats.energy_total}
+
+
+def bench_router(config, sizes, rng):
+    config = replace(config, energy_model=_fast_model(32))
+    router = TcamRouter(capacity=sizes["routes"] + 1, store_config=config)
+    router.add_route("0.0.0.0/0", "default")
+    for i in range(sizes["routes"] - 1):
+        net = rng.randrange(0, 1 << 32)
+        router.add_route(f"{int_to_ip(net)}/{rng.randrange(8, 29)}",
+                         f"hop{i}")
+    # Hot-set traffic so the fabric config's query cache has work to do.
+    hot = [int_to_ip(rng.randrange(0, 1 << 32)) for _ in
+           range(max(sizes["lookups"] // 10, 1))]
+    addrs = [rng.choice(hot) for _ in range(sizes["lookups"])]
+    router.lookup(addrs[0])  # build the store outside the timed region
+    hops, elapsed = _timed(lambda: router.lookup_batch(addrs))
+    assert all(h is not None for h in hops)
+    return len(addrs) / elapsed, router.store_stats
+
+
+def bench_classifier(config, sizes, rng):
+    config = replace(config, energy_model=_fast_model(104))
+    cl = TcamClassifier(store_config=config)
+    cl.add_rule(Rule(name="catch-all"))
+    for i in range(sizes["rules"] - 1):
+        lo = rng.randrange(0, 1 << 15)
+        cl.add_rule(Rule(
+            name=f"r{i}",
+            src_prefix=(rng.randrange(1 << 32), rng.randrange(8, 25)),
+            dst_port_range=(lo, lo + rng.randrange(1, 512)),
+            protocol=rng.choice((None, 6, 17))))
+    packets = [Packet(src_ip=rng.randrange(1 << 32),
+                      dst_ip=rng.randrange(1 << 32),
+                      src_port=rng.randrange(1 << 16),
+                      dst_port=rng.randrange(1 << 16),
+                      protocol=rng.choice((6, 17)))
+               for _ in range(sizes["packets"])]
+    cl.classify(packets[0])
+    names, elapsed = _timed(lambda: cl.classify_batch(packets))
+    assert all(n is not None for n in names)  # catch-all matches
+    return len(packets) / elapsed, cl.store_stats
+
+
+def bench_cache(config, sizes, rng):
+    config = replace(config, energy_model=_fast_model(18))
+    cache = TcamCache(lines=sizes["cache_lines"], block_bits=6,
+                      address_bits=24, store_config=config)
+    trace = [rng.randrange(0, 1 << 18) & ~0x3F
+             for _ in range(sizes["accesses"] // 2)]
+    trace += [rng.choice(trace) for _ in range(sizes["accesses"] // 2)]
+
+    def run():
+        for addr in trace:
+            cache.access(addr)
+        return cache.hit_rate
+
+    hit_rate, elapsed = _timed(run)
+    assert 0.0 < hit_rate < 1.0
+    return len(trace) / elapsed, cache.store_stats
+
+
+def bench_genomics(config, sizes, rng):
+    config = replace(config, energy_model=_fast_model(20))
+    ref = "".join(rng.choice("ACGT") for _ in range(sizes["reference_len"]))
+    index = SeedIndex(ref, k=10, store_config=config)
+    starts = [rng.randrange(0, len(ref) - 10)
+              for _ in range(sizes["seed_lookups"])]
+    seeds = [ref[s:s + 10] for s in starts]
+    index.lookup(seeds[0])
+    hits, elapsed = _timed(lambda: index.lookup_batch(seeds))
+    assert all(hit_list for hit_list in hits)  # every seed is in ref
+    return len(seeds) / elapsed, index.store_stats
+
+
+def bench_hamming(config, sizes, rng):
+    config = replace(config, energy_model=_fast_model(12))
+    searcher = HammingSearcher(rows=sizes["hamming_rows"], width=12,
+                               store_config=config)
+    for row in range(sizes["hamming_rows"]):
+        searcher.store(row, "".join(rng.choice("01X") for _ in range(12)))
+    queries = ["".join(rng.choice("01") for _ in range(12))
+               for _ in range(sizes["hamming_queries"])]
+
+    def run():
+        return [searcher.nearest(q, max_distance=2) for q in queries]
+
+    _, elapsed = _timed(run)
+    return len(queries) / elapsed, searcher.cam_store.stats
+
+
+WORKLOADS = [
+    ("router", bench_router),
+    ("classifier", bench_classifier),
+    ("cache", bench_cache),
+    ("genomics", bench_genomics),
+    ("hamming", bench_hamming),
+]
+
+
+def run_benchmark(tiny=False):
+    sizes = TINY if tiny else FULL
+    report = {"mode": "tiny" if tiny else "full",
+              "fabric_banks": FABRIC_BANKS, "cache_size": CACHE_SIZE,
+              "workloads": {}}
+    for workload, fn in WORKLOADS:
+        entry = {}
+        for label, config in _configs().items():
+            rng = random.Random(7)  # identical traffic per backend
+            qps, stats = fn(config, sizes, rng)
+            entry[label] = {"queries_per_sec": round(qps, 1),
+                            "store": _store_summary(stats)}
+        entry["fabric_vs_array"] = round(
+            entry["fabric"]["queries_per_sec"]
+            / entry["array"]["queries_per_sec"], 3)
+        report["workloads"][workload] = entry
+        print(f"{workload:>11}: array {entry['array']['queries_per_sec']:>12.1f} q/s"
+              f" | fabric {entry['fabric']['queries_per_sec']:>12.1f} q/s"
+              f" (x{entry['fabric_vs_array']:.2f}, hit rate "
+              f"{entry['fabric']['store']['cache_hit_rate']:.2f})")
+    return report
+
+
+def write_report(report, path=None):
+    if path is None:
+        path = os.path.join(os.path.dirname(__file__), "results",
+                            "store_api.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"wrote {path}")
+
+
+def test_store_api_smoke():
+    """Pytest entry: every workload runs on both backends (tiny sizes)."""
+    report = run_benchmark(tiny=True)
+    for workload, entry in report["workloads"].items():
+        assert entry["array"]["queries_per_sec"] > 0
+        assert entry["fabric"]["store"]["banks"] == FABRIC_BANKS
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke mode: tiny workloads")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args()
+    write_report(run_benchmark(tiny=args.tiny), args.out)

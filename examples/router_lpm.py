@@ -11,11 +11,12 @@ Run:  python examples/router_lpm.py
 
 import random
 
-from fecam import DesignKind
+from fecam import DesignKind, StoreConfig
 from fecam.apps import TcamRouter, int_to_ip
 from fecam.units import FJ
 
-router = TcamRouter(capacity=64, design=DesignKind.DG_1T5)
+router = TcamRouter(capacity=64,
+                    store_config=StoreConfig(design=DesignKind.DG_1T5))
 router.add_route("0.0.0.0/0", "upstream")          # default
 router.add_route("10.0.0.0/8", "corp-core")
 router.add_route("10.20.0.0/16", "corp-east")

@@ -17,9 +17,15 @@ Layered public API:
   lifecycle, hash/range sharding, vectorized batch search, cross-bank
   priority-encoder merge, LRU query caching with shard-scoped
   invalidation.
+* :mod:`fecam.store` — **the associative-store API**: one
+  :class:`~fecam.store.CamStore` facade with a typed
+  :class:`~fecam.store.StoreConfig` and a uniform batch-first result
+  model (:class:`~fecam.store.Query` / :class:`~fecam.store.Match` /
+  :class:`~fecam.store.StoreStats`) over pluggable backends — a single
+  array or the sharded fabric — so scaling is a config edit.
 * :mod:`fecam.apps` — application substrates (router LPM, associative
-  cache, packet classifier, genomics seed matching), scaled past one
-  array by the fabric tier.
+  cache, packet classifier, genomics seed matching, Hamming /
+  one-shot matching), all served by :class:`~fecam.store.CamStore`.
 * :mod:`fecam.bench` — experiment harness regenerating every paper
   table/figure.
 
@@ -27,17 +33,16 @@ Quickstart::
 
     import fecam
 
-    tcam = fecam.functional.TernaryCAM(rows=64, width=64,
-                                       design=fecam.DesignKind.DG_1T5)
-    tcam.write(0, "01X" * 21 + "0")
-    hits = tcam.search("010" * 21 + "0")
+    store = fecam.CamStore(fecam.StoreConfig(width=64, rows=64))
+    store.insert("01X" * 21 + "0", key="rule-0")
+    hit = store.search_first("010" * 21 + "0")      # -> Match(key="rule-0")
 
-At system scale, the fabric serves batched traffic over many banks::
+Scaling to a sharded, cached 16-bank fabric is a config edit::
 
-    fabric = fecam.fabric.TcamFabric(banks=16, rows_per_bank=1024,
-                                     width=64, cache_size=4096)
-    fabric.insert("01X" * 21 + "0", key="rule-0")
-    results = fabric.search_batch(["010" * 21 + "0"] * 1000)
+    store = fecam.CamStore(fecam.StoreConfig(
+        width=64, rows=16384, banks=16, cache_size=4096))
+    store.insert("01X" * 21 + "0", key="rule-0")
+    results = store.search_batch(["010" * 21 + "0"] * 1000)
 """
 
 from .designs import DesignKind
@@ -47,11 +52,16 @@ from . import cam  # noqa: F401
 from . import arch  # noqa: F401
 from . import functional  # noqa: F401
 from . import fabric  # noqa: F401
+from . import store  # noqa: F401
 from . import apps  # noqa: F401
 from . import bench  # noqa: F401
-from .fabric import TcamFabric  # noqa: F401  (headline system-tier API)
+from .fabric import TcamFabric  # noqa: F401  (system tier, raw fabric)
+from .store import (CamStore, Match, Query, StoreConfig,  # noqa: F401
+                    StoreStats)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["DesignKind", "TcamFabric", "spice", "devices", "cam", "arch",
-           "functional", "fabric", "apps", "bench", "__version__"]
+__all__ = ["DesignKind", "CamStore", "StoreConfig", "Query", "Match",
+           "StoreStats", "TcamFabric", "spice", "devices", "cam", "arch",
+           "functional", "fabric", "store", "apps", "bench",
+           "__version__"]

@@ -1,0 +1,74 @@
+"""Deprecation shims for the pre-`CamStore` app constructors.
+
+Every app used to take TCAM layout arguments (``design=``, ``banks=``,
+``cache_size=``, ``tcam=``) directly; the canonical form is now a
+:class:`~fecam.store.StoreConfig` passed as ``store_config=``.  The old
+spellings keep working through :func:`legacy_store_config`, which emits
+a :class:`DeprecationWarning` exactly once per constructor per process
+(not once per call — a 10k-instantiation loop must not print 10k
+warnings).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Set
+
+from ..designs import DesignKind
+from ..errors import OperationError
+from ..store import StoreConfig
+
+__all__ = ["legacy_store_config", "warn_once", "reset_warn_once"]
+
+_warned: Set[str] = set()
+
+
+def reset_warn_once() -> None:
+    """Forget which constructors already warned (test hook)."""
+    _warned.clear()
+
+
+def warn_once(ctor: str, message: str, *, stacklevel: int = 4) -> None:
+    """Emit ``message`` as a DeprecationWarning once per ``ctor``.
+
+    Deduplication is keyed on the constructor name, not the call site,
+    so repeated instantiation from anywhere warns a single time.  The
+    default ``stacklevel=4`` points at the code calling the app
+    constructor (warn_once <- legacy_store_config <- __init__ <-
+    caller); callers that invoke warn_once directly from their
+    __init__ pass 3.
+    """
+    if ctor in _warned:
+        return
+    _warned.add(ctor)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def legacy_store_config(ctor: str, *,
+                        store_config: Optional[StoreConfig],
+                        design: Optional[DesignKind] = None,
+                        banks: Optional[int] = None,
+                        cache_size: Optional[int] = None) -> StoreConfig:
+    """Resolve old layout kwargs and ``store_config`` into one config.
+
+    Passing any legacy kwarg warns (once per constructor) and builds an
+    equivalent config; mixing legacy kwargs with ``store_config`` is an
+    error rather than a silent merge.
+    """
+    legacy = {name: value for name, value in
+              (("design", design), ("banks", banks),
+               ("cache_size", cache_size)) if value is not None}
+    if not legacy:
+        return store_config if store_config is not None else StoreConfig()
+    if store_config is not None:
+        raise OperationError(
+            f"{ctor}: pass either store_config= or the legacy "
+            f"{sorted(legacy)} arguments, not both")
+    spelled = ", ".join(f"{name}=..." for name in sorted(legacy))
+    warn_once(ctor, f"{ctor}({spelled}) is deprecated; pass "
+                    f"store_config=StoreConfig({spelled}) instead")
+    return StoreConfig(design=design if design is not None
+                       else DesignKind.DG_1T5,
+                       banks=banks if banks is not None else 1,
+                       cache_size=cache_size if cache_size is not None
+                       else 0)

@@ -14,7 +14,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..designs import DesignKind
 from ..errors import OperationError
-from ..fabric import TcamFabric
+from ..store import CamStore, StoreConfig, StoreStats
+from ._compat import legacy_store_config
 
 __all__ = ["range_to_prefixes", "Rule", "Packet", "TcamClassifier"]
 
@@ -114,27 +115,40 @@ class Rule:
 class TcamClassifier:
     """Priority packet classifier over a 104-bit TCAM key.
 
-    Backed by a :class:`TcamFabric`: the expanded rule rows stripe
-    round-robin over ``banks`` arrays (priority = expansion order, so
-    the cross-bank encoder preserves first-rule-wins semantics), and
+    Backed by a :class:`CamStore`: the expanded rule rows stripe
+    round-robin over the configured banks (priority = expansion order,
+    so the cross-bank encoder preserves first-rule-wins semantics), and
     packet batches classify through the vectorized search path.
     """
 
     KEY_WIDTH = 32 + 32 + 16 + 16 + 8
 
     def __init__(self, capacity_rows: int = 4096,
-                 design: DesignKind = DesignKind.DG_1T5, *,
-                 banks: int = 1, cache_size: int = 0):
-        if banks < 1:
-            raise OperationError("banks must be positive")
+                 design: Optional[DesignKind] = None, *,
+                 banks: Optional[int] = None,
+                 cache_size: Optional[int] = None,
+                 store_config: Optional[StoreConfig] = None):
+        config = legacy_store_config(
+            "TcamClassifier", store_config=store_config, design=design,
+            banks=banks, cache_size=cache_size)
         self.capacity_rows = capacity_rows
-        self.design = design
-        self.banks = banks
-        self.cache_size = cache_size
+        self.store_config = config
         self.rules: List[Rule] = []
         self._rows_used = 0  # running expansion count (capacity check)
-        self._fabric: Optional[TcamFabric] = None
+        self._store: Optional[CamStore] = None
         self._dirty = True
+
+    @property
+    def design(self) -> DesignKind:
+        return self.store_config.design
+
+    @property
+    def banks(self) -> int:
+        return self.store_config.banks
+
+    @property
+    def cache_size(self) -> int:
+        return self.store_config.cache_size
 
     def add_rule(self, rule: Rule) -> int:
         """Append a rule (lower index = higher priority); returns the
@@ -152,12 +166,14 @@ class TcamClassifier:
         for idx, rule in enumerate(self.rules):
             for word in rule.ternary_words():
                 rows.append((word, idx))
-        self._fabric = TcamFabric.striped(
-            [word for word, _ in rows], banks=self.banks,
-            width=self.KEY_WIDTH, design=self.design,
-            keys=list(range(len(rows))),
-            payloads=[idx for _, idx in rows],
-            cache_size=self.cache_size)
+        self._store = CamStore(self.store_config.with_geometry(
+            width=self.KEY_WIDTH, rows=max(len(rows), 1)))
+        if rows:
+            self._store.insert_many(
+                [word for word, _ in rows],
+                keys=list(range(len(rows))),
+                priorities=list(range(len(rows))),
+                payloads=[idx for _, idx in rows])
         self._rows_used = len(rows)
         self._dirty = False
 
@@ -172,18 +188,18 @@ class TcamClassifier:
             return None
         if self._dirty:
             self._rebuild()
-        entry = self._fabric.search_first(packet.key_bits())
-        if entry is None:
+        match = self._store.search_first(packet.key_bits())
+        if match is None:
             return None
-        return self.rules[entry.payload].name
+        return self.rules[match.payload].name
 
     def classify_batch(self, packets: Sequence[Packet]) -> List[Optional[str]]:
-        """Vectorized classification of a packet batch (one fabric pass)."""
+        """Vectorized classification of a packet batch (one store pass)."""
         if not self.rules:
             return [None] * len(packets)
         if self._dirty:
             self._rebuild()
-        results = self._fabric.search_batch(
+        results = self._store.search_batch(
             [p.key_bits() for p in packets])
         return [self.rules[r.best.payload].name if r.best is not None
                 else None for r in results]
@@ -193,3 +209,8 @@ class TcamClassifier:
             if rule.matches(packet):
                 return rule.name
         return None
+
+    @property
+    def store_stats(self) -> Optional[StoreStats]:
+        """Full telemetry of the backing store (None before first build)."""
+        return self._store.stats if self._store is not None else None

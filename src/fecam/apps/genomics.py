@@ -2,9 +2,12 @@
 motivation (Sec. I, citing the seed-and-vote in-memory accelerator [2]).
 
 Reads are chopped into fixed-length seeds; each seed is matched in
-parallel against reference k-mers stored in the TCAM.  Ambiguous IUPAC
-bases ('N') map to don't-care symbols, which is exactly the ternary
-capability binary CAMs lack.
+parallel against reference k-mers stored in a
+:class:`~fecam.store.CamStore`.  Ambiguous IUPAC bases ('N') map to
+don't-care symbols, which is exactly the ternary capability binary CAMs
+lack.  A ``store_config`` shards a large reference index across banks
+and batches seed lookups through the vectorized search path —
+:func:`vote_alignment` resolves a whole read in one store pass.
 """
 
 from __future__ import annotations
@@ -15,7 +18,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..designs import DesignKind
 from ..errors import OperationError
-from ..functional.engine import TernaryCAM
+from ..store import CamStore, StoreConfig, StoreStats
+from ._compat import legacy_store_config
 
 __all__ = ["encode_base", "encode_seed", "SeedIndex", "vote_alignment"]
 
@@ -44,7 +48,7 @@ class SeedHit:
 
 
 class SeedIndex:
-    """TCAM index of all k-mers of a reference sequence.
+    """Associative-store index of all k-mers of a reference sequence.
 
     >>> idx = SeedIndex("ACGTACGTACGT", k=4)
     >>> [h.position for h in idx.lookup("TACG")]
@@ -52,7 +56,10 @@ class SeedIndex:
     """
 
     def __init__(self, reference: str, k: int = 8,
-                 design: DesignKind = DesignKind.DG_1T5):
+                 design: Optional[DesignKind] = None, *,
+                 store_config: Optional[StoreConfig] = None):
+        config = legacy_store_config(
+            "SeedIndex", store_config=store_config, design=design)
         if k < 2:
             raise OperationError("seed length must be >= 2")
         if len(reference) < k:
@@ -60,10 +67,23 @@ class SeedIndex:
         self.reference = reference.upper()
         self.k = k
         positions = len(self.reference) - k + 1
-        self._tcam = TernaryCAM(rows=positions, width=2 * k, design=design)
-        for pos in range(positions):
-            kmer = self.reference[pos:pos + k]
-            self._tcam.write(pos, encode_seed(kmer))
+        self._store = CamStore(config.with_geometry(width=2 * k,
+                                                    rows=positions))
+        # Priority = reference position, so matches come back in
+        # ascending-position order across every backend.
+        self._store.insert_many(
+            [encode_seed(self.reference[pos:pos + k])
+             for pos in range(positions)],
+            keys=list(range(positions)),
+            priorities=list(range(positions)))
+
+    def _encode_query(self, seed: str) -> str:
+        if len(seed) != self.k:
+            raise OperationError(f"seed must be {self.k} bases")
+        word = encode_seed(seed)
+        if "X" in word:
+            raise OperationError("query seeds must not contain N")
+        return word
 
     def lookup(self, seed: str) -> List[SeedHit]:
         """All reference positions whose k-mer matches the seed.
@@ -71,13 +91,17 @@ class SeedIndex:
         The *query* must be concrete (A/C/G/T): TCAM queries are binary.
         Ambiguity lives on the stored side ('N' in the reference).
         """
-        if len(seed) != self.k:
-            raise OperationError(f"seed must be {self.k} bases")
-        word = encode_seed(seed)
-        if "X" in word:
-            raise OperationError("query seeds must not contain N")
-        stats = self._tcam.search(word)
-        return [SeedHit(position=row, row=row) for row in stats.matches]
+        result = self._store.search(self._encode_query(seed))
+        return [SeedHit(position=m.key, row=m.row) for m in result.matches]
+
+    def lookup_batch(self, seeds: Sequence[str]) -> List[List[SeedHit]]:
+        """Vectorized lookup of many seeds (one store pass)."""
+        if not seeds:
+            return []
+        results = self._store.search_batch(
+            [self._encode_query(seed) for seed in seeds])
+        return [[SeedHit(position=m.key, row=m.row) for m in r.matches]
+                for r in results]
 
     def lookup_reference_scan(self, seed: str) -> List[int]:
         """Software reference implementation (for verification)."""
@@ -90,7 +114,12 @@ class SeedIndex:
 
     @property
     def energy_spent(self) -> float:
-        return self._tcam.energy_spent
+        return self._store.stats.energy_total
+
+    @property
+    def store_stats(self) -> StoreStats:
+        """Full telemetry of the backing store."""
+        return self._store.stats
 
 
 def vote_alignment(read: str, index: SeedIndex,
@@ -98,16 +127,17 @@ def vote_alignment(read: str, index: SeedIndex,
     """Seed-and-vote read mapping: each seed votes for the alignment
     offset implied by its hit; the plurality offset wins.
 
+    All seeds of the read are matched in one batched store pass.
     Returns the winning reference offset or None when nothing matched.
     """
     k = index.k
     stride = stride or k
+    starts = [s for s in range(0, len(read) - k + 1, stride)
+              if "N" not in read[s:s + k].upper()]
     votes: Counter = Counter()
-    for seed_start in range(0, len(read) - k + 1, stride):
-        seed = read[seed_start:seed_start + k]
-        if "N" in seed.upper():
-            continue
-        for hit in index.lookup(seed):
+    hit_lists = index.lookup_batch([read[s:s + k] for s in starts])
+    for seed_start, hits in zip(starts, hit_lists):
+        for hit in hits:
             votes[hit.position - seed_start] += 1
     if not votes:
         return None

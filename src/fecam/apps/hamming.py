@@ -1,4 +1,4 @@
-"""Approximate (Hamming-distance) matching on a TCAM.
+"""Approximate (Hamming-distance) matching on the associative store.
 
 The paper's author group uses FeFET CAMs for multi-state Hamming-distance
 search [3] and one-shot learning [5].  An exact-match TCAM can answer
@@ -9,7 +9,8 @@ effort.  This module implements:
 
 * :func:`hamming_distance` over ternary words (don't-cares are free);
 * :class:`HammingSearcher` — bounded-distance and nearest-neighbor search
-  over a :class:`TernaryCAM`, with an exact reference implementation;
+  over a :class:`~fecam.store.CamStore` (each perturbation ring is one
+  batched store pass), with an exact reference implementation;
 * a one-shot-classifier convenience built on nearest-neighbor search
   (class prototypes stored as ternary words, unstable bits as 'X').
 """
@@ -24,6 +25,8 @@ from ..cam.states import normalize_query, normalize_word
 from ..designs import DesignKind
 from ..errors import OperationError, TernaryValueError
 from ..functional.engine import TernaryCAM
+from ..store import ArrayBackend, CamStore, StoreConfig
+from ._compat import legacy_store_config, warn_once
 
 __all__ = ["hamming_distance", "HammingSearcher", "OneShotClassifier"]
 
@@ -38,26 +41,79 @@ def hamming_distance(stored: str, query: str) -> int:
     return sum(1 for s, q in zip(stored, query) if s != "X" and s != q)
 
 
+def _ring(query: str, width: int, d: int) -> List[str]:
+    """Every query obtained by flipping exactly ``d`` bits, in the
+    deterministic :func:`itertools.combinations` order."""
+    ring: List[str] = []
+    for flip_positions in combinations(range(width), d):
+        bits = list(query)
+        for p in flip_positions:
+            bits[p] = "0" if bits[p] == "1" else "1"
+        ring.append("".join(bits))
+    return ring
+
+
 class HammingSearcher:
-    """Bounded-distance / nearest-neighbor search over a TernaryCAM.
+    """Bounded-distance / nearest-neighbor search over a CamStore.
 
     Query perturbation: distance-``d`` candidates are found by searching
     the original query plus every query with ``<= d`` bits flipped
-    (``sum C(n,k)`` searches).  Practical for the small ``d`` used in
-    associative-memory workloads (the cited one-shot learners use d<=3).
+    (``sum C(n,k)`` searches, each ring served as one batched store
+    pass).  Practical for the small ``d`` used in associative-memory
+    workloads (the cited one-shot learners use d<=3).
     """
 
     def __init__(self, rows: int, width: int,
-                 design: DesignKind = DesignKind.DG_1T5,
-                 tcam: Optional[TernaryCAM] = None):
-        self.tcam = tcam or TernaryCAM(rows=rows, width=width, design=design)
+                 design: Optional[DesignKind] = None,
+                 tcam: Optional[TernaryCAM] = None, *,
+                 store_config: Optional[StoreConfig] = None):
+        config = legacy_store_config(
+            "HammingSearcher", store_config=store_config, design=design)
+        if tcam is not None:
+            warn_once("HammingSearcher(tcam=...)",
+                      "HammingSearcher(tcam=...) is deprecated; pass "
+                      "store_config=StoreConfig(...) and let the store "
+                      "own its array", stacklevel=3)
+            backend = ArrayBackend(
+                config.with_geometry(width=width, rows=rows), cam=tcam)
+            self.cam_store = CamStore(backend=backend)
+        else:
+            self.cam_store = CamStore(config.with_geometry(width=width,
+                                                           rows=rows))
         self.width = width
         self._words: Dict[int, str] = {}
 
+    @property
+    def capacity(self) -> int:
+        return self.cam_store.capacity
+
+    @property
+    def tcam(self) -> TernaryCAM:
+        """The underlying array (array backend only; legacy accessor)."""
+        backend = self.cam_store.backend
+        if not isinstance(backend, ArrayBackend):
+            raise OperationError(
+                "a multi-bank searcher has no single tcam; use "
+                "cam_store instead")
+        return backend.cam
+
     def store(self, row: int, word: str) -> None:
+        """Store a prototype word under ``row`` (rewrites in place)."""
         word = normalize_word(word)
-        self.tcam.write(row, word)
+        if row in self.cam_store:
+            self.cam_store.update(row, word)
+        else:
+            # Priority = row keeps lowest-row-wins tie-breaking across
+            # backends, like a hardware priority encoder would.
+            self.cam_store.insert(word, key=row, priority=row)
         self._words[row] = word
+
+    def _ring_rows(self, queries: Sequence[str]) -> List[int]:
+        """Rows matching any query of one perturbation ring (one batched
+        store pass), in ascending row order."""
+        rows = {m.key for r in self.cam_store.search_batch(queries)
+                for m in r.matches}
+        return sorted(rows)
 
     def search_within(self, query: str, distance: int) -> List[Tuple[int, int]]:
         """All (row, exact_distance) with distance <= ``distance``,
@@ -69,33 +125,23 @@ class HammingSearcher:
             distance = self.width
         found: Dict[int, int] = {}
         for d in range(distance + 1):
-            for flip_positions in combinations(range(self.width), d):
-                bits = list(query)
-                for p in flip_positions:
-                    bits[p] = "0" if bits[p] == "1" else "1"
-                for row in self.tcam.search("".join(bits)).matches:
-                    if row not in found:
-                        found[row] = hamming_distance(self._words[row], query)
-            if found and d >= max(found.values()):
-                # Every remaining candidate is already closer.
-                pass
+            for row in self._ring_rows(_ring(query, self.width, d)):
+                if row not in found:
+                    found[row] = hamming_distance(self._words[row], query)
         return sorted(found.items(), key=lambda kv: (kv[1], kv[0]))
 
     def nearest(self, query: str, max_distance: Optional[int] = None
                 ) -> Optional[Tuple[int, int]]:
         """(row, distance) of the closest stored word, expanding the
-        search radius incrementally (early exit at the first hit)."""
+        search radius ring by ring (early exit at the first non-empty
+        ring; ties broken by the lowest row)."""
         query = normalize_query(query)
         limit = self.width if max_distance is None else max_distance
         for d in range(limit + 1):
-            for flip_positions in combinations(range(self.width), d):
-                bits = list(query)
-                for p in flip_positions:
-                    bits[p] = "0" if bits[p] == "1" else "1"
-                matches = self.tcam.search("".join(bits)).matches
-                if matches:
-                    row = min(matches)
-                    return row, hamming_distance(self._words[row], query)
+            rows = self._ring_rows(_ring(query, self.width, d))
+            if rows:
+                row = rows[0]
+                return row, hamming_distance(self._words[row], query)
         return None
 
     def nearest_reference(self, query: str) -> Optional[Tuple[int, int]]:
@@ -113,16 +159,19 @@ class OneShotClassifier:
     """Nearest-prototype classifier (the ferroelectric TCAM one-shot
     learning use case [5]): one ternary prototype per class."""
 
-    def __init__(self, width: int, design: DesignKind = DesignKind.DG_1T5,
-                 capacity: int = 64):
+    def __init__(self, width: int, design: Optional[DesignKind] = None,
+                 capacity: int = 64, *,
+                 store_config: Optional[StoreConfig] = None):
+        config = legacy_store_config(
+            "OneShotClassifier", store_config=store_config, design=design)
         self.width = width
         self.searcher = HammingSearcher(rows=capacity, width=width,
-                                        design=design)
+                                        store_config=config)
         self.labels: List[str] = []
 
     def learn(self, label: str, prototype: str) -> int:
         """Store one class prototype ('X' marks unreliable features)."""
-        if len(self.labels) >= len(self.searcher.tcam):
+        if len(self.labels) >= self.searcher.capacity:
             raise OperationError("classifier capacity exhausted")
         row = len(self.labels)
         self.searcher.store(row, prototype)
@@ -135,3 +184,10 @@ class OneShotClassifier:
         if hit is None:
             return None
         return self.labels[hit[0]]
+
+    def classify_batch(self, features: Sequence[str],
+                       max_distance: Optional[int] = None
+                       ) -> List[Optional[str]]:
+        """Classify many feature vectors (rings batched per query)."""
+        return [self.classify(f, max_distance=max_distance)
+                for f in features]

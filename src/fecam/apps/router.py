@@ -1,13 +1,14 @@
-"""Longest-prefix-match IP routing on the TCAM fabric — the paper's
-classic network-router motivation (Sec. I).
+"""Longest-prefix-match IP routing on the associative store — the
+paper's classic network-router motivation (Sec. I).
 
 Prefixes map naturally onto ternary words (the host bits become 'X');
 longest-prefix-match priority is realized by storing routes in
-descending-prefix-length priority order, so the fabric's cross-bank
-priority encoder returns the most specific route — exactly how
-commercial router TCAMs operate.  The table is striped round-robin
-across ``banks`` fabric banks, so it scales past a single array and
-serves address batches through the vectorized search path.
+descending-prefix-length priority order, so the store's priority encoder
+returns the most specific route — exactly how commercial router TCAMs
+operate.  The table lives in a :class:`~fecam.store.CamStore`, so one
+config (``store_config=StoreConfig(banks=..., cache_size=...)``) scales
+it from a single array to a sharded multi-bank fabric with batched
+lookups and query caching.
 """
 
 from __future__ import annotations
@@ -17,7 +18,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..designs import DesignKind
 from ..errors import OperationError
-from ..fabric import TcamFabric
+from ..store import CamStore, StoreConfig, StoreStats
+from ._compat import legacy_store_config
 
 __all__ = ["Route", "TcamRouter", "parse_cidr", "ip_to_int", "int_to_ip"]
 
@@ -72,13 +74,13 @@ class Route:
 
 
 class TcamRouter:
-    """An IPv4 forwarding table backed by a :class:`TcamFabric`.
+    """An IPv4 forwarding table backed by a :class:`CamStore`.
 
     Routes are stored in descending-prefix-length priority order so the
-    fabric's priority encoder returns the longest (most specific)
-    prefix.  ``banks`` stripes the table over multiple TCAM arrays;
-    ``cache_size`` enables the fabric's query-result cache for
-    read-heavy lookup traffic.
+    store's priority encoder returns the longest (most specific)
+    prefix.  The backing layout (banks, design, query cache) comes from
+    ``store_config``; the old ``design=``/``banks=``/``cache_size=``
+    arguments still work through a deprecation shim.
 
     >>> router = TcamRouter(capacity=16)
     >>> router.add_route("10.0.0.0/8", "coarse")
@@ -88,17 +90,32 @@ class TcamRouter:
     """
 
     def __init__(self, capacity: int = 1024,
-                 design: DesignKind = DesignKind.DG_1T5, *,
-                 banks: int = 1, cache_size: int = 0):
-        if banks < 1:
-            raise OperationError("banks must be positive")
+                 design: Optional[DesignKind] = None, *,
+                 banks: Optional[int] = None,
+                 cache_size: Optional[int] = None,
+                 store_config: Optional[StoreConfig] = None):
+        config = legacy_store_config(
+            "TcamRouter", store_config=store_config, design=design,
+            banks=banks, cache_size=cache_size)
         self.capacity = capacity
-        self.design = design
-        self.banks = banks
-        self.cache_size = cache_size
+        self.store_config = config
         self._routes: List[Route] = []
-        self._fabric: Optional[TcamFabric] = None
+        self._store: Optional[CamStore] = None
         self._dirty = True
+
+    # Legacy layout attributes, still consulted by older call sites.
+
+    @property
+    def design(self) -> DesignKind:
+        return self.store_config.design
+
+    @property
+    def banks(self) -> int:
+        return self.store_config.banks
+
+    @property
+    def cache_size(self) -> int:
+        return self.store_config.cache_size
 
     # -- table management -----------------------------------------------------------
 
@@ -126,15 +143,18 @@ class TcamRouter:
         return len(self._routes)
 
     def _rebuild(self) -> None:
-        # Longest prefixes first => priority encoder returns LPM; rows
-        # stripe round-robin across banks for balanced occupancy.
+        # Longest prefixes first => priority encoder returns LPM; the
+        # store stripes rows round-robin for balanced bank occupancy.
         self._routes.sort(key=lambda r: (-r.prefix_len, r.network))
-        self._fabric = TcamFabric.striped(
-            [route.ternary_word() for route in self._routes],
-            banks=self.banks, width=32, design=self.design,
-            keys=[(route.network, route.prefix_len)
-                  for route in self._routes],
-            payloads=self._routes, cache_size=self.cache_size)
+        self._store = CamStore(self.store_config.with_geometry(
+            width=32, rows=max(len(self._routes), 1)))
+        if self._routes:
+            self._store.insert_many(
+                [route.ternary_word() for route in self._routes],
+                keys=[(route.network, route.prefix_len)
+                      for route in self._routes],
+                priorities=list(range(len(self._routes))),
+                payloads=self._routes)
         self._dirty = False
 
     # -- lookups ---------------------------------------------------------------------
@@ -149,18 +169,18 @@ class TcamRouter:
             return None
         if self._dirty:
             self._rebuild()
-        entry = self._fabric.search_first(
+        match = self._store.search_first(
             format(ip_to_int(address), "032b"))
-        return entry.payload if entry is not None else None
+        return match.payload if match is not None else None
 
     def lookup_batch(self, addresses: Sequence[str]) -> List[Optional[str]]:
-        """Vectorized LPM for a batch of addresses (one fabric pass)."""
+        """Vectorized LPM for a batch of addresses (one store pass)."""
         if not self._routes:
             return [None] * len(addresses)
         if self._dirty:
             self._rebuild()
         queries = [format(ip_to_int(a), "032b") for a in addresses]
-        results = self._fabric.search_batch(queries)
+        results = self._store.search_batch(queries)
         return [r.best.payload.next_hop if r.best is not None else None
                 for r in results]
 
@@ -175,12 +195,17 @@ class TcamRouter:
         return best.next_hop if best else None
 
     @property
+    def store_stats(self) -> Optional[StoreStats]:
+        """Full telemetry of the backing store (None before first build)."""
+        return self._store.stats if self._store is not None else None
+
+    @property
     def stats(self) -> Dict[str, float]:
-        if self._fabric is None:
+        if self._store is None:
             return {"searches": 0, "energy_j": 0.0, "banks": self.banks,
                     "cache_hits": 0}
-        fabric_stats = self._fabric.stats
-        return {"searches": fabric_stats.searches,
-                "energy_j": fabric_stats.energy_total,
-                "banks": fabric_stats.num_banks,
-                "cache_hits": fabric_stats.cache_hits}
+        stats = self._store.stats
+        return {"searches": stats.searches,
+                "energy_j": stats.energy_total,
+                "banks": stats.banks,
+                "cache_hits": stats.cache_hits}

@@ -35,12 +35,26 @@ class CamBank:
 
     def __init__(self, bank_id: int, rows: int, width: int,
                  design: DesignKind = DesignKind.DG_1T5, *,
-                 energy_model: Optional[EnergyModel] = None):
+                 energy_model: Optional[EnergyModel] = None,
+                 cam: Optional[TernaryCAM] = None):
         self.bank_id = bank_id
-        self.cam = TernaryCAM(rows=rows, width=width, design=design,
-                              energy_model=energy_model)
-        # Min-heap of free rows: allocation is deterministic lowest-first.
-        self._free: List[int] = list(range(rows))
+        if cam is not None:
+            # Adopt an existing array: its already-valid rows stay out of
+            # the free pool (legacy injection paths hand over pre-loaded
+            # engines).
+            if cam.rows != rows or cam.width != width:
+                raise OperationError(
+                    f"adopted cam is {cam.rows}x{cam.width}, bank wants "
+                    f"{rows}x{width}")
+            self.cam = cam
+            self._free: List[int] = [
+                row for row in range(rows) if not cam._valid[row]]
+        else:
+            self.cam = TernaryCAM(rows=rows, width=width, design=design,
+                                  energy_model=energy_model)
+            # Min-heap of free rows: allocation is deterministic
+            # lowest-first.
+            self._free = list(range(rows))
         heapq.heapify(self._free)
 
     # -- capacity ----------------------------------------------------------------

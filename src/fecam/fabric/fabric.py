@@ -29,7 +29,7 @@ from ..cam.states import normalize_query, normalize_word
 from ..functional.engine import EnergyModel, SearchStats, pack_words
 from .bank import CamBank
 from .batch import batch_count_matches, normalize_queries, pack_queries
-from .cache import QueryCache
+from .cache import QueryCache, serve_cached_batch
 from .shard import HashSharding, ShardPolicy
 
 __all__ = ["TcamFabric", "FabricEntry", "FabricSearchResult", "FabricStats",
@@ -437,44 +437,18 @@ class TcamFabric:
             return []
         mask_bits = (self.banks[0].cam.pack_mask(mask)
                      if mask is not None else None)
-        cache = self._cache if use_cache else None
-        generations = tuple(self._generations)
-        results: List[Optional[FabricSearchResult]] = [None] * len(queries)
-        if cache is not None:
-            pending: Dict[str, List[int]] = {}
-            for i, query in enumerate(queries):
-                if query in pending:
-                    # A duplicate of a query already being computed this
-                    # batch: the sequential loop would serve it from the
-                    # cache after the first occurrence, so don't record
-                    # another miss here — note_hit() accounts for it.
-                    pending[query].append(i)
-                    continue
-                hit = cache.get((query, mask), generations)
-                if hit is not None:
-                    self._searches += 1
-                    results[i] = self._from_cache(hit)
-                else:
-                    pending.setdefault(query, []).append(i)
-            unique = list(pending)
-        else:
-            unique = list(queries)
-        if unique:
-            computed = self._search_batch_arrays(unique, mask_bits)
-            for j, query in enumerate(unique):
-                result = computed[j]
-                if cache is not None:
-                    cache.put((query, mask), generations,
-                              self._snapshot(result))
-                    indices = pending[query]
-                    results[indices[0]] = result
-                    for extra in indices[1:]:
-                        cache.note_hit()
-                        self._searches += 1
-                        results[extra] = self._from_cache(result)
-                else:
-                    results[j] = result
-        return results  # type: ignore[return-value]
+        return serve_cached_batch(
+            self._cache if use_cache else None, tuple(self._generations),
+            queries, key_fn=lambda query: (query, mask),
+            compute=lambda unique: self._search_batch_arrays(unique,
+                                                             mask_bits),
+            snapshot=self._snapshot, from_cache=self._from_cache,
+            count_served=self._count_cache_served)
+
+    def _count_cache_served(self) -> None:
+        # A cache-served query is still an answered query; only the
+        # array-search counter stays put (no bank fired).
+        self._searches += 1
 
     def _search_batch_arrays(self, queries: List[str],
                              mask_bits) -> List[FabricSearchResult]:
@@ -555,11 +529,20 @@ class TcamFabric:
             searches=self._searches, array_searches=self._array_searches,
             energy_total=sum(bank.cam.energy_spent for bank in self.banks),
             worst_latency=self._worst_latency,
-            cache_hits=self._cache.hits if self._cache else 0,
-            cache_misses=self._cache.misses if self._cache else 0,
-            cache_hit_rate=self._cache.hit_rate if self._cache else 0.0,
+            # `is not None`, not truthiness: QueryCache has __len__, so
+            # an empty-but-consulted cache is falsy yet has counters.
+            cache_hits=self._cache.hits if self._cache is not None else 0,
+            cache_misses=(self._cache.misses
+                          if self._cache is not None else 0),
+            cache_hit_rate=(self._cache.hit_rate
+                            if self._cache is not None else 0.0),
             per_bank=per_bank)
 
-    def __repr__(self) -> str:  # pragma: no cover
-        return (f"<TcamFabric {self.num_banks}x{self.rows_per_bank}x"
-                f"{self.width} ({self.design}), {self.occupancy} entries>")
+    def __repr__(self) -> str:
+        cache = (f"{len(self._cache)}/{self._cache.capacity}"
+                 if self._cache is not None else "off")
+        return (f"<TcamFabric banks={self.num_banks} "
+                f"rows_per_bank={self.rows_per_bank} width={self.width} "
+                f"design={self.design} "
+                f"occupancy={self.occupancy}/{self.capacity} "
+                f"cache={cache}>")

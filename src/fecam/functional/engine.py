@@ -71,22 +71,29 @@ def pack_words(words: Sequence[str], width: int) -> Tuple[np.ndarray, np.ndarray
     if n == 0:
         return (np.zeros((0, n_chunks), dtype=np.uint64),
                 np.zeros((0, n_chunks), dtype=np.uint64))
-    for word in words:
+    for i, word in enumerate(words):
         if len(word) != width:
             raise TernaryValueError(
-                f"every word must have length {width} "
-                f"(got one of length {len(word)})")
+                f"word {i} has length {len(word)}; every word must have "
+                f"length {width}")
     try:
         buf = "".join(words).encode("ascii")
     except UnicodeEncodeError as exc:
-        raise TernaryValueError(f"non-ASCII symbol in ternary word: {exc}")
+        bad_i = next(i for i, word in enumerate(words)
+                     if any(ord(symbol) > 127 for symbol in word))
+        raise TernaryValueError(
+            f"non-ASCII symbol in ternary word {bad_i}: {exc}")
     sym = np.frombuffer(buf, dtype=np.uint8).reshape(n, width)
     is_one = sym == _ORD_1
     is_x = sym == _ORD_X
-    if not ((sym == _ORD_0) | is_one | is_x).all():
-        bad = sym[~((sym == _ORD_0) | is_one | is_x)][0]
+    bad = ~((sym == _ORD_0) | is_one | is_x)
+    if bad.any():
+        # Report *which* word broke: on a 10k-word bulk load the symbol
+        # alone is useless for finding the culprit.
+        bad_i, bad_pos = (int(axis[0]) for axis in np.nonzero(bad))
         raise TernaryValueError(
-            f"invalid ternary symbol {chr(bad)!r}; words must be "
+            f"invalid ternary symbol {chr(sym[bad_i, bad_pos])!r} at "
+            f"position {bad_pos} of word {bad_i}; words must be "
             "canonical '01X' strings")
     return _pack_bitplane(is_one, width), _pack_bitplane(~is_x, width)
 
@@ -409,6 +416,26 @@ class TernaryCAM:
     def __len__(self) -> int:
         return self.rows
 
-    def __repr__(self) -> str:  # pragma: no cover
-        return (f"<TernaryCAM {self.rows}x{self.width} ({self.design}), "
-                f"{self.occupancy} valid rows>")
+    def __contains__(self, word) -> bool:
+        """True iff some valid row stores exactly this ternary word.
+
+        Accepts any alias form :func:`normalize_word` does; words that
+        don't normalize or whose length differs from the array width
+        are simply not contained (no exception), matching ``in``
+        semantics on other containers.
+        """
+        try:
+            word = normalize_word(word)
+        except (TernaryValueError, TypeError):
+            return False
+        if len(word) != self.width:
+            return False
+        value, care = pack_word(word, self.width)
+        same = ((self._value == value[None, :])
+                & (self._care == care[None, :])).all(axis=1)
+        return bool((same & self._valid).any())
+
+    def __repr__(self) -> str:
+        return (f"<TernaryCAM {self.rows}x{self.width} "
+                f"design={self.design} "
+                f"occupancy={self.occupancy}/{self.rows}>")

@@ -1,0 +1,26 @@
+"""One associative-store API over every TCAM backend.
+
+The store tier gives every workload a single front door:
+:class:`CamStore`, configured by a typed :class:`StoreConfig`, speaking
+a uniform batch-first result model (:class:`Query`, :class:`Match`,
+:class:`QueryResult`, :class:`StoreStats`).  Physical storage is
+pluggable behind the :class:`SearchBackend` protocol — one behavioral
+array (:class:`ArrayBackend`) or a sharded multi-bank fabric
+(:class:`FabricBackend`) — so sharding, batching, and query caching are
+config edits, not code changes.  A one-bank fabric and the plain array
+produce bit-identical matches, energy, and latency (property-tested).
+"""
+
+from .backend import SearchBackend, make_backend
+from .array import ArrayBackend
+from .config import BACKEND_KINDS, PLACEMENTS, StoreConfig
+from .fabric import FabricBackend
+from .result import Match, Query, QueryResult, StoreStats
+from .store import CamStore
+
+__all__ = [
+    "CamStore", "StoreConfig",
+    "Query", "Match", "QueryResult", "StoreStats",
+    "SearchBackend", "ArrayBackend", "FabricBackend", "make_backend",
+    "BACKEND_KINDS", "PLACEMENTS",
+]

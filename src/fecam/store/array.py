@@ -1,0 +1,158 @@
+"""Single-array backend: one :class:`TernaryCAM` behind the store API.
+
+The minimal deployment of the paper's TCAM — every entry lives in one
+array (wrapped in a :class:`~fecam.fabric.CamBank` for row lifecycle),
+and batch searches run through the same vectorized two-step kernel the
+fabric uses, so a one-bank store pays no fabric overhead yet produces
+bit-identical matches, energy, and latency to a one-bank fabric (the
+property the equivalence suite enforces).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence
+
+from ..errors import OperationError
+from ..fabric.bank import CamBank
+from ..fabric.batch import pack_queries, search_packed_batch
+from ..functional.engine import EnergyModel, TernaryCAM, pack_words
+from .backend import SearchBackend
+from .config import StoreConfig
+from .result import Match, Query, QueryResult
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend(SearchBackend):
+    """Store backend over a single behavioral TCAM array."""
+
+    name = "array"
+
+    def __init__(self, config: StoreConfig,
+                 cam: Optional[TernaryCAM] = None):
+        super().__init__(config)
+        if config.backend_kind != "array":
+            raise OperationError(
+                f"config resolves to the {config.backend_kind!r} backend")
+        model = config.energy_model or EnergyModel(config.design,
+                                                   config.width)
+        self._bank = CamBank(0, config.rows, config.width, config.design,
+                             energy_model=model, cam=cam)
+        self._entries: Dict[Hashable, Match] = {}
+        self._row_entry: List[Optional[Match]] = [None] * config.rows
+        if cam is not None:
+            # Adopted pre-loaded rows become entries keyed by row index.
+            for row in range(config.rows):
+                word = cam.stored_word(row)
+                if word is None:
+                    continue
+                match = Match(key=row, word=word, priority=float(row),
+                              bank=0, row=row, seq=row)
+                self._entries[row] = match
+                self._row_entry[row] = match
+
+    @property
+    def cam(self) -> TernaryCAM:
+        """The underlying array (circuit-calibrated engine)."""
+        return self._bank.cam
+
+    # -- layout ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._bank.rows
+
+    @property
+    def occupancy(self) -> int:
+        return self._bank.occupancy
+
+    @property
+    def energy_total(self) -> float:
+        return self.cam.energy_spent
+
+    # -- content lifecycle -------------------------------------------------------
+
+    def insert(self, word: str, key: Hashable, priority: float,
+               payload: Any, seq: int) -> Match:
+        if key in self._entries:
+            raise OperationError(f"duplicate key {key!r}; use update()")
+        row = self._bank.insert(word)
+        match = Match(key=key, word=word, priority=priority, bank=0,
+                      row=row, payload=payload, seq=seq)
+        self._entries[key] = match
+        self._row_entry[row] = match
+        return match
+
+    def insert_many(self, words: Sequence[str], keys: Sequence[Hashable],
+                    priorities: Sequence[float], payloads: Sequence[Any],
+                    seqs: Sequence[int]) -> List[Match]:
+        for key in keys:
+            if key in self._entries:
+                raise OperationError(f"duplicate key {key!r}; use update()")
+        # Pack (and validate) every word before any row is written, so a
+        # bad word cannot leak allocated rows mid-batch.
+        value, care = pack_words(list(words), self.width)
+        rows = self._bank.insert_many(words, packed=(value, care))
+        matches: List[Match] = []
+        for word, key, priority, payload, seq, row in zip(
+                words, keys, priorities, payloads, seqs, rows):
+            match = Match(key=key, word=word, priority=priority, bank=0,
+                          row=row, payload=payload, seq=seq)
+            self._entries[key] = match
+            self._row_entry[row] = match
+            matches.append(match)
+        return matches
+
+    def delete(self, key: Hashable) -> Match:
+        match = self.get(key)
+        self._bank.delete(match.row)
+        del self._entries[key]
+        self._row_entry[match.row] = None
+        return match
+
+    def update(self, key: Hashable, word: str,
+               payload: Any = None) -> Match:
+        match = self.get(key)
+        self._bank.update(match.row, word)
+        match.word = word
+        if payload is not None:
+            match.payload = payload
+        return match
+
+    def get(self, key: Hashable) -> Match:
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise OperationError(f"no entry with key {key!r}") from None
+
+    def entries(self) -> List[Match]:
+        return sorted(self._entries.values(), key=lambda m: m.sort_key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    # -- search ------------------------------------------------------------------
+
+    def search_batch(self, queries: Sequence[str],
+                     mask: Optional[str] = None) -> List[QueryResult]:
+        queries = list(queries)
+        if not queries:
+            return []
+        mask_bits = (self.cam.pack_mask(mask) if mask is not None else None)
+        q_matrix = pack_queries(queries, self.width)
+        stats_list = search_packed_batch(self.cam, q_matrix, mask_bits)
+        results: List[QueryResult] = []
+        for bits, stats in zip(queries, stats_list):
+            matches = [entry for entry in
+                       (self._row_entry[row] for row in stats.matches)
+                       if entry is not None]
+            if len(matches) > 1:
+                matches.sort(key=lambda m: m.sort_key)
+            results.append(QueryResult(
+                query=Query(bits=bits, mask=mask), matches=matches,
+                energy=stats.energy, latency=stats.latency))
+        return results
+
+    def __repr__(self) -> str:
+        return (f"<ArrayBackend {self.capacity}x{self.width} "
+                f"({self.config.design}), {self.occupancy} entries>")

@@ -1,0 +1,123 @@
+"""Typed configuration for a :class:`~fecam.store.CamStore`.
+
+One :class:`StoreConfig` value describes the full layout of an
+associative store — word width, total row capacity, bank count, the
+paper design pricing every operation, query caching, and key placement —
+so scaling a workload from one array to a sharded multi-bank fabric is a
+config edit, not a code change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..designs import DesignKind
+from ..errors import OperationError
+from ..functional.engine import EnergyModel
+
+__all__ = ["StoreConfig", "BACKEND_KINDS", "PLACEMENTS"]
+
+#: Accepted ``StoreConfig.backend`` values. ``"auto"`` picks the array
+#: backend for a single bank and the fabric backend for several.
+BACKEND_KINDS = ("auto", "array", "fabric")
+
+#: Accepted ``StoreConfig.placement`` values: ``"striped"`` places keys
+#: round-robin by insertion order (balanced occupancy, the construction
+#: every app uses); ``"hash"`` places by a stable key hash (replica-
+#: independent point placement).
+PLACEMENTS = ("striped", "hash")
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Layout of one associative store.
+
+    ``width`` and ``rows`` may be left ``None`` by callers that embed a
+    config inside a larger object (an app derives them from its own
+    parameters) and filled later via :meth:`resolved`.
+    """
+
+    width: Optional[int] = None
+    rows: Optional[int] = None            # total rows across all banks
+    banks: int = 1
+    design: DesignKind = DesignKind.DG_1T5
+    backend: str = "auto"                 # one of BACKEND_KINDS
+    cache_size: int = 0                   # 0 disables the query cache
+    placement: str = "striped"            # one of PLACEMENTS
+    energy_model: Optional[EnergyModel] = None
+
+    def __post_init__(self) -> None:
+        if self.banks < 1:
+            raise OperationError("a store needs at least one bank")
+        if self.cache_size < 0:
+            raise OperationError("cache_size must be non-negative")
+        if self.backend not in BACKEND_KINDS:
+            raise OperationError(
+                f"backend must be one of {BACKEND_KINDS}, "
+                f"got {self.backend!r}")
+        if self.placement not in PLACEMENTS:
+            raise OperationError(
+                f"placement must be one of {PLACEMENTS}, "
+                f"got {self.placement!r}")
+        if self.backend == "array" and self.banks != 1:
+            raise OperationError(
+                "the array backend holds exactly one bank; use "
+                "backend='fabric' (or 'auto') for banks > 1")
+        if self.width is not None and self.width < 1:
+            raise OperationError("width must be positive")
+        if self.rows is not None and self.rows < 1:
+            raise OperationError("rows must be positive")
+
+    # -- derived layout ----------------------------------------------------------
+
+    @property
+    def backend_kind(self) -> str:
+        """The backend ``"auto"`` resolves to: array iff one bank."""
+        if self.backend != "auto":
+            return self.backend
+        return "array" if self.banks == 1 else "fabric"
+
+    @property
+    def rows_per_bank(self) -> int:
+        if self.rows is None:
+            raise OperationError("rows is not set; call resolved() first")
+        return (self.rows + self.banks - 1) // self.banks
+
+    def resolved(self, *, width: Optional[int] = None,
+                 rows: Optional[int] = None) -> "StoreConfig":
+        """Fill in missing ``width``/``rows`` and validate completeness.
+
+        Explicit config values win over the defaults supplied here, so
+        an app can say "my store is 32 bits wide with N rows" while the
+        user still controls banks/design/cache via the config.
+        """
+        config = self
+        if config.width is None and width is not None:
+            config = replace(config, width=width)
+        if config.rows is None and rows is not None:
+            config = replace(config, rows=rows)
+        if config.width is None or config.rows is None:
+            raise OperationError(
+                "StoreConfig needs width and rows to build a store "
+                f"(width={config.width}, rows={config.rows})")
+        return config
+
+    def with_geometry(self, *, width: int, rows: int) -> "StoreConfig":
+        """Fill in geometry the caller owns, rejecting conflicts.
+
+        Apps with a fixed key geometry (router: 32-bit addresses,
+        classifier: the 104-bit 5-tuple, ...) use this instead of
+        :meth:`resolved`: a config that explicitly disagrees fails here,
+        at construction, rather than deep inside the word packer on the
+        first lookup.
+        """
+        if self.width is not None and self.width != width:
+            raise OperationError(
+                f"store_config.width={self.width} conflicts with this "
+                f"workload's fixed width {width}; leave width unset")
+        if self.rows is not None and self.rows != rows:
+            raise OperationError(
+                f"store_config.rows={self.rows} conflicts with this "
+                f"workload's derived capacity {rows}; leave rows unset")
+        return replace(self, width=width, rows=rows)

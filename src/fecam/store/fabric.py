@@ -1,0 +1,141 @@
+"""Fabric backend: a sharded multi-bank :class:`TcamFabric` behind the
+store API.
+
+Scaling a store past one array is a config edit: the fabric broadcasts
+every query to all banks, merges matches with cross-bank
+priority-encoder semantics, and sums energy / maxes latency exactly as
+parallel hardware banks would.  The store facade owns query caching, so
+the wrapped fabric always runs with its own cache disabled — one cache,
+one invalidation policy, regardless of backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence
+
+from ..errors import OperationError
+from ..fabric.fabric import TcamFabric
+from ..fabric.shard import HashSharding
+from .backend import SearchBackend
+from .config import StoreConfig
+from .result import Match, Query, QueryResult
+
+__all__ = ["FabricBackend"]
+
+
+class FabricBackend(SearchBackend):
+    """Store backend over a sharded multi-bank TCAM fabric."""
+
+    name = "fabric"
+
+    def __init__(self, config: StoreConfig):
+        super().__init__(config)
+        if config.backend_kind != "fabric":
+            raise OperationError(
+                f"config resolves to the {config.backend_kind!r} backend")
+        sharding = (HashSharding(config.banks)
+                    if config.placement == "hash" else None)
+        self.fabric = TcamFabric(
+            banks=config.banks, rows_per_bank=config.rows_per_bank,
+            width=config.width, design=config.design, sharding=sharding,
+            energy_model=config.energy_model, cache_size=0)
+        self._matches: Dict[Hashable, Match] = {}
+
+    def _bank_for(self, seq: int) -> Optional[int]:
+        # Striped placement overrides the fabric's hash sharding with
+        # round-robin-by-insertion-order (balanced occupancy, and the
+        # one-bank case lands every row exactly where ArrayBackend does).
+        if self.config.placement == "striped":
+            return seq % self.config.banks
+        return None
+
+    # -- layout ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.fabric.capacity
+
+    @property
+    def occupancy(self) -> int:
+        return self.fabric.occupancy
+
+    @property
+    def energy_total(self) -> float:
+        return sum(bank.cam.energy_spent for bank in self.fabric.banks)
+
+    # -- content lifecycle -------------------------------------------------------
+
+    def insert(self, word: str, key: Hashable, priority: float,
+               payload: Any, seq: int) -> Match:
+        entry = self.fabric.insert(word, key=key, priority=priority,
+                                   payload=payload,
+                                   bank=self._bank_for(seq))
+        match = Match(key=key, word=entry.word, priority=priority,
+                      bank=entry.bank, row=entry.row, payload=payload,
+                      seq=seq)
+        self._matches[key] = match
+        return match
+
+    def insert_many(self, words: Sequence[str], keys: Sequence[Hashable],
+                    priorities: Sequence[float], payloads: Sequence[Any],
+                    seqs: Sequence[int]) -> List[Match]:
+        banks = ([self._bank_for(seq) for seq in seqs]
+                 if self.config.placement == "striped" else None)
+        entries = self.fabric.insert_many(
+            words, keys=list(keys), priorities=list(priorities),
+            payloads=list(payloads), banks=banks)
+        matches: List[Match] = []
+        for entry, priority, payload, seq in zip(entries, priorities,
+                                                 payloads, seqs):
+            match = Match(key=entry.key, word=entry.word,
+                          priority=priority, bank=entry.bank,
+                          row=entry.row, payload=payload, seq=seq)
+            self._matches[entry.key] = match
+            matches.append(match)
+        return matches
+
+    def delete(self, key: Hashable) -> Match:
+        match = self.get(key)
+        self.fabric.delete(key)
+        del self._matches[key]
+        return match
+
+    def update(self, key: Hashable, word: str,
+               payload: Any = None) -> Match:
+        match = self.get(key)
+        self.fabric.update(key, word, payload=payload)
+        match.word = word
+        if payload is not None:
+            match.payload = payload
+        return match
+
+    def get(self, key: Hashable) -> Match:
+        try:
+            return self._matches[key]
+        except KeyError:
+            raise OperationError(f"no entry with key {key!r}") from None
+
+    def entries(self) -> List[Match]:
+        return sorted(self._matches.values(), key=lambda m: m.sort_key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._matches
+
+    # -- search ------------------------------------------------------------------
+
+    def search_batch(self, queries: Sequence[str],
+                     mask: Optional[str] = None) -> List[QueryResult]:
+        queries = list(queries)
+        if not queries:
+            return []
+        raw = self.fabric.search_batch(queries, mask, use_cache=False)
+        matches_of = self._matches
+        return [QueryResult(query=Query(bits=bits, mask=mask),
+                            matches=[matches_of[e.key] for e in r.matches],
+                            energy=r.energy, latency=r.latency)
+                for bits, r in zip(queries, raw)]
+
+    def __repr__(self) -> str:
+        return (f"<FabricBackend {self.config.banks}x"
+                f"{self.config.rows_per_bank}x{self.width} "
+                f"({self.config.design}), {self.occupancy} entries>")

@@ -1,0 +1,114 @@
+"""The store's uniform result model.
+
+Every backend answers every workload with the same three shapes:
+
+* :class:`Query` — what to search (bits plus an optional global mask);
+* :class:`Match` — one stored entry that matched, with its placement;
+* :class:`QueryResult` — the priority-ordered matches of one query plus
+  the energy/latency actually paid to serve it;
+* :class:`StoreStats` — cumulative store telemetry.
+
+This replaces the historical split where array-backed apps spoke
+:class:`~fecam.functional.SearchStats` (bare row indices) and
+fabric-backed apps spoke :class:`~fecam.fabric.FabricSearchResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Optional, Tuple
+
+from ..errors import TernaryValueError
+
+__all__ = ["Query", "Match", "QueryResult", "StoreStats"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One search request: fully-specified bits, optional global mask.
+
+    ``mask`` is the classic TCAM global-masking register: positions
+    marked '0' are excluded from the comparison for this query.
+    """
+
+    bits: str
+    mask: Optional[str] = None
+
+    @classmethod
+    def coerce(cls, query: "Query | str") -> "Query":
+        """Accept a plain bit-string wherever a Query is expected."""
+        if isinstance(query, cls):
+            return query
+        if isinstance(query, str):
+            return cls(bits=query)
+        raise TernaryValueError(
+            f"queries must be bit-strings or Query objects, "
+            f"got {type(query).__name__}")
+
+
+@dataclass
+class Match:
+    """One stored entry that matched a query, with where it lives."""
+
+    key: Hashable
+    word: str
+    priority: float
+    bank: int
+    row: int
+    payload: Any = None
+    seq: int = 0  # insertion tiebreak for equal priorities
+
+    @property
+    def sort_key(self) -> Tuple[float, int]:
+        return (self.priority, self.seq)
+
+
+@dataclass
+class QueryResult:
+    """Priority-ordered matches of one query and what serving it cost.
+
+    A cache hit reports ``energy == latency == 0.0`` (no array fired)
+    and ``cached=True``, consistent with the store's cumulative energy
+    not growing on hits.
+    """
+
+    query: Query
+    matches: List[Match] = field(default_factory=list)
+    energy: float = 0.0    # J, summed over every bank that fired
+    latency: float = 0.0   # s, worst bank (banks search in parallel)
+    cached: bool = False
+
+    @property
+    def best(self) -> Optional[Match]:
+        """Priority-encoder output: the best-priority match."""
+        return self.matches[0] if self.matches else None
+
+    @property
+    def match_keys(self) -> List[Hashable]:
+        return [match.key for match in self.matches]
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __bool__(self) -> bool:
+        # A result with zero matches is still a real result.
+        return True
+
+
+@dataclass
+class StoreStats:
+    """Cumulative telemetry of one :class:`~fecam.store.CamStore`."""
+
+    backend: str            # "array" | "fabric"
+    banks: int
+    width: int
+    capacity: int           # total rows
+    occupancy: int          # live entries
+    searches: int           # queries answered, including cache hits
+    array_searches: int     # queries that actually fired the arrays
+    writes: int             # insert/update/delete operations
+    energy_total: float     # J spent by the arrays (searches + writes)
+    worst_latency: float    # s, worst single-query latency observed
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float

@@ -1,0 +1,108 @@
+"""The legacy app constructors warn exactly once per constructor.
+
+Every app accepts the old layout kwargs (``design=``, ``banks=``,
+``cache_size=``, ``tcam=``) through a shim that emits one
+DeprecationWarning per constructor per process — not one per call, so a
+bulk instantiation loop cannot flood stderr.  The filter is ours, not
+Python's default-dedup: tests run under ``simplefilter("always")``.
+"""
+
+import warnings
+
+import pytest
+
+from fecam.apps import (HammingSearcher, OneShotClassifier, SeedIndex,
+                        TcamCache, TcamClassifier, TcamRouter)
+from fecam.apps._compat import reset_warn_once
+from fecam.designs import DesignKind
+from fecam.errors import OperationError
+from fecam.functional import TernaryCAM
+from fecam.store import StoreConfig
+
+
+@pytest.fixture(autouse=True)
+def fresh_warn_state():
+    reset_warn_once()
+    yield
+    reset_warn_once()
+
+
+def deprecations(record):
+    return [w for w in record
+            if issubclass(w.category, DeprecationWarning)]
+
+
+def make_legacy_calls():
+    """(constructor name, zero-arg legacy call) for every app."""
+    return [
+        ("TcamRouter", lambda: TcamRouter(capacity=4, banks=2)),
+        ("TcamClassifier", lambda: TcamClassifier(cache_size=4)),
+        ("TcamCache", lambda: TcamCache(
+            lines=2, design=DesignKind.DG_1T5)),
+        ("SeedIndex", lambda: SeedIndex(
+            "ACGTACGT", k=4, design=DesignKind.DG_1T5)),
+        ("HammingSearcher", lambda: HammingSearcher(
+            rows=2, width=4, design=DesignKind.DG_1T5)),
+        ("OneShotClassifier", lambda: OneShotClassifier(
+            width=4, design=DesignKind.DG_1T5)),
+    ]
+
+
+@pytest.mark.parametrize("name,call", make_legacy_calls(),
+                         ids=[n for n, _ in make_legacy_calls()])
+def test_legacy_kwargs_warn_exactly_once_per_constructor(name, call):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")  # defeat Python's own dedup
+        call()
+        call()
+        call()
+    warns = deprecations(record)
+    assert len(warns) == 1, (name, [str(w.message) for w in warns])
+    assert name in str(warns[0].message)
+    assert "store_config" in str(warns[0].message)
+
+
+def test_constructors_warn_independently():
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        TcamRouter(capacity=4, banks=2)
+        TcamClassifier(banks=2)
+        TcamRouter(capacity=4, banks=3)  # second router: no new warning
+    warns = deprecations(record)
+    assert len(warns) == 2
+    assert "TcamRouter" in str(warns[0].message)
+    assert "TcamClassifier" in str(warns[1].message)
+
+
+def test_store_config_path_is_warning_free():
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        TcamRouter(capacity=4, store_config=StoreConfig(banks=2))
+        TcamClassifier(store_config=StoreConfig(cache_size=4))
+        TcamCache(lines=2, store_config=StoreConfig())
+        SeedIndex("ACGTACGT", k=4, store_config=StoreConfig())
+        HammingSearcher(rows=2, width=4, store_config=StoreConfig())
+        OneShotClassifier(width=4, store_config=StoreConfig())
+        TcamRouter(capacity=4)  # defaults are not "legacy" either
+    assert deprecations(record) == []
+
+
+def test_mixing_legacy_and_config_rejected():
+    with pytest.raises(OperationError):
+        TcamRouter(capacity=4, banks=2, store_config=StoreConfig())
+
+
+def test_tcam_injection_shim_adopts_content():
+    cam = TernaryCAM(rows=4, width=8)
+    cam.write(0, "11110000")
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        searcher = HammingSearcher(rows=4, width=8, tcam=cam)
+        HammingSearcher(rows=4, width=8, tcam=TernaryCAM(rows=4, width=8))
+    assert len(deprecations(record)) == 1
+    assert searcher.tcam is cam
+    # Adopted rows keep working through the store API.
+    searcher._words[0] = "11110000"
+    assert searcher.nearest("11110000") == (0, 0)
+    searcher.store(1, "0000XXXX")
+    assert searcher.nearest("00001111") == (1, 0)

@@ -1,0 +1,129 @@
+"""Property tests: the two store backends are interchangeable.
+
+The headline guarantee of `fecam.store`: an :class:`ArrayBackend` and a
+one-bank :class:`FabricBackend` serve the same workload with
+*bit-identical* matches, energy, latency, and array counters; a
+multi-bank fabric still returns the identical matches in the identical
+priority order (and — because every row's step-1/step-2 behavior is
+independent of which bank holds it — the same total energy and
+latency).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fecam.designs import DesignKind
+from fecam.functional import EnergyModel
+from fecam.store import ArrayBackend, CamStore, FabricBackend, StoreConfig
+
+WIDTH = 10
+
+
+def fast_model():
+    return EnergyModel(DesignKind.DG_1T5, WIDTH, e_1step_per_bit=0.8e-15,
+                       e_2step_per_bit=1.3e-15, latency_1step=0.7e-9,
+                       latency_2step=2.3e-9, write_energy_per_cell=0.4e-15)
+
+
+def build_store(backend, banks, words, priorities, cache_size=0):
+    store = CamStore(StoreConfig(
+        width=WIDTH, rows=max(len(words), 1) * banks, banks=banks,
+        backend=backend, cache_size=cache_size,
+        energy_model=fast_model()))
+    if words:
+        store.insert_many(words, keys=list(range(len(words))),
+                          priorities=priorities)
+    return store
+
+
+words_strategy = st.lists(
+    st.text(alphabet="01X", min_size=WIDTH, max_size=WIDTH),
+    min_size=0, max_size=12)
+queries_strategy = st.lists(
+    st.text(alphabet="01", min_size=WIDTH, max_size=WIDTH),
+    min_size=1, max_size=16)
+
+
+@settings(max_examples=40, deadline=None)
+@given(words=words_strategy, queries=queries_strategy, data=st.data())
+def test_array_and_one_bank_fabric_are_bit_identical(words, queries, data):
+    priorities = data.draw(st.lists(
+        st.integers(min_value=0, max_value=5), min_size=len(words),
+        max_size=len(words)))
+    array = build_store("array", 1, words, priorities)
+    fabric = build_store("fabric", 1, words, priorities)
+    assert isinstance(array.backend, ArrayBackend)
+    assert isinstance(fabric.backend, FabricBackend)
+
+    array_results = array.search_batch(queries)
+    fabric_results = fabric.search_batch(queries)
+    for lhs, rhs in zip(array_results, fabric_results):
+        assert lhs.match_keys == rhs.match_keys
+        assert [m.row for m in lhs.matches] == \
+            [m.row for m in rhs.matches]
+        assert lhs.energy == rhs.energy      # bit-identical, not approx
+        assert lhs.latency == rhs.latency
+
+    # The arrays themselves did identical work: same counters, same
+    # cumulative energy (writes + searches), bit for bit.
+    array_cam = array.backend.cam
+    fabric_cam = fabric.backend.fabric.banks[0].cam
+    assert array_cam.search_count == fabric_cam.search_count
+    assert array_cam.write_count == fabric_cam.write_count
+    assert array_cam.energy_spent == fabric_cam.energy_spent
+    assert array.stats.energy_total == fabric.stats.energy_total
+
+
+@settings(max_examples=25, deadline=None)
+@given(words=words_strategy, queries=queries_strategy,
+       banks=st.integers(min_value=2, max_value=4))
+def test_multibank_fabric_matches_array(words, queries, banks):
+    """Sharding must be invisible: same matches in the same global
+    priority order, same per-query energy and latency (row work is
+    bank-placement-independent)."""
+    priorities = list(range(len(words)))
+    array = build_store("array", 1, words, priorities)
+    fabric = build_store("fabric", banks, words, priorities)
+
+    for lhs, rhs in zip(array.search_batch(queries),
+                        fabric.search_batch(queries)):
+        assert lhs.match_keys == rhs.match_keys
+        assert lhs.energy == pytest.approx(rhs.energy, rel=1e-12)
+        assert lhs.latency == rhs.latency
+
+
+@settings(max_examples=15, deadline=None)
+@given(words=st.lists(st.text(alphabet="01X", min_size=WIDTH,
+                              max_size=WIDTH), min_size=1, max_size=8),
+       queries=queries_strategy)
+def test_equivalence_survives_caching(words, queries):
+    """With equal cache configs, both backends serve the same hits and
+    the same results."""
+    priorities = list(range(len(words)))
+    array = build_store("array", 1, words, priorities, cache_size=8)
+    fabric = build_store("fabric", 1, words, priorities, cache_size=8)
+    for _ in range(2):  # second pass is cache-served
+        for lhs, rhs in zip(array.search_batch(queries),
+                            fabric.search_batch(queries)):
+            assert lhs.match_keys == rhs.match_keys
+            assert lhs.cached == rhs.cached
+            assert lhs.energy == rhs.energy
+    assert array.stats.cache_hits == fabric.stats.cache_hits
+    assert array.stats.array_searches == fabric.stats.array_searches
+
+
+def test_deletion_and_update_keep_backends_aligned():
+    words = ["1010101010", "0101010101", "11111XXXXX", "XXXXX00000"]
+    stores = [build_store(kind, b, words, list(range(4)))
+              for kind, b in (("array", 1), ("fabric", 1))]
+    for store in stores:
+        store.delete(1)
+        store.update(2, "11111X1X1X")
+        store.insert("0101010101", key="replacement", priority=1)
+    lhs, rhs = (s.search_batch(["1111111111", "0101010101"])
+                for s in stores)
+    for a, b in zip(lhs, rhs):
+        assert a.match_keys == b.match_keys
+        assert [m.row for m in a.matches] == [m.row for m in b.matches]
+        assert a.energy == b.energy and a.latency == b.latency
