@@ -1,0 +1,132 @@
+"""Metrics-fidelity benchmark: per-tier evaluation cost + tier agreement.
+
+Measures, for every FeFET design, how long one cold ``evaluate()`` takes
+on each fidelity tier (paper / analytical / spice), how fast warm
+registry hits are served, and the analytical tier's relative error
+against the SPICE ground truth for the headline figures (total latency,
+average energy, EDP).  Emits JSON
+(``benchmarks/results/metrics_fidelity.json``) for the bench trajectory.
+
+Run directly (``python benchmarks/bench_metrics_fidelity.py``;
+``--tiny`` shrinks to one design/word length for CI smoke), or via
+pytest (``pytest benchmarks/bench_metrics_fidelity.py``).
+"""
+
+import argparse
+import json
+import os
+import time
+
+from fecam.designs import DesignKind
+from fecam.metrics import (ANALYTICAL_ENERGY_FACTOR,
+                           ANALYTICAL_LATENCY_FACTOR, DesignPoint,
+                           clear_registry, evaluate)
+
+FULL = dict(designs=DesignKind.fefet_designs(), word_lengths=(16, 64))
+TINY = dict(designs=(DesignKind.DG_1T5,), word_lengths=(16,))
+
+
+def _timed_evaluate(point, fidelity):
+    start = time.perf_counter()
+    fom = evaluate(point, fidelity)
+    return fom, time.perf_counter() - start
+
+
+def _relative_error(approx, exact):
+    return abs(approx - exact) / exact
+
+
+def run_benchmark(tiny=False):
+    sizes = TINY if tiny else FULL
+    clear_registry()
+    report = {"mode": "tiny" if tiny else "full", "points": []}
+    for design in sizes["designs"]:
+        for n in sizes["word_lengths"]:
+            point = DesignPoint(design=design, word_length=n)
+            entry = {"design": str(design), "word_length": n,
+                     "tiers": {}, "analytical_vs_spice": {}}
+            foms = {}
+            for fidelity in ("paper", "analytical", "spice"):
+                fom, cold = _timed_evaluate(point, fidelity)
+                _, warm = _timed_evaluate(point, fidelity)  # registry hit
+                foms[fidelity] = fom
+                entry["tiers"][fidelity] = {
+                    "cold_ms": round(cold * 1e3, 3),
+                    "warm_us": round(warm * 1e6, 2),
+                    "latency_total_ps": fom.as_row()["latency_total_ps"],
+                    "energy_avg_fj": fom.as_row()["energy_avg_fj"],
+                }
+            quick, truth = foms["analytical"], foms["spice"]
+            entry["analytical_vs_spice"] = {
+                "latency_total": round(_relative_error(
+                    quick.latency_total, truth.latency_total), 4),
+                "energy_avg": round(_relative_error(
+                    quick.search_energy_avg, truth.search_energy_avg), 4),
+                "edp": round(_relative_error(quick.edp, truth.edp), 4),
+                "latency_ratio": round(
+                    quick.latency_total / truth.latency_total, 4),
+                "energy_ratio": round(
+                    quick.search_energy_avg / truth.search_energy_avg, 4),
+            }
+            speedup = (entry["tiers"]["spice"]["cold_ms"]
+                       / max(entry["tiers"]["analytical"]["cold_ms"], 1e-6))
+            entry["analytical_speedup_over_spice"] = round(speedup, 1)
+            report["points"].append(entry)
+            print(f"{entry['design']:>11} N={n:<4} "
+                  f"spice {entry['tiers']['spice']['cold_ms']:>8.1f} ms | "
+                  f"analytical {entry['tiers']['analytical']['cold_ms']:>7.3f} ms "
+                  f"(x{speedup:,.0f}) | "
+                  f"err lat {entry['analytical_vs_spice']['latency_total']:.2f} "
+                  f"energy {entry['analytical_vs_spice']['energy_avg']:.2f}")
+    _check(report)
+    return report
+
+
+def _check(report):
+    """Sanity gates: cheap tiers are cheap, agreement stays stated.
+
+    Agreement is gated on the analytical/SPICE *ratio* (both sides, the
+    shared ``fecam.metrics.ANALYTICAL_*_FACTOR`` bounds the tier-1 tests
+    pin) — a relative-error bound would saturate near 1.0 for gross
+    underestimates and never fire.  The wall-clock gates are deliberately
+    loose (an order of magnitude over typical) so shared-runner
+    contention cannot fail the CI smoke step; they only catch a cheap
+    tier accidentally routing through the transient simulator.
+    """
+    for entry in report["points"]:
+        tiers = entry["tiers"]
+        # Cheap tiers run ~0.2-1 ms; a SPICE run is >=90 ms even tiny.
+        assert tiers["paper"]["cold_ms"] < 50.0, entry
+        assert tiers["analytical"]["cold_ms"] < 50.0, entry
+        assert tiers["spice"]["warm_us"] < 1e4, entry  # registry hit
+        agree = entry["analytical_vs_spice"]
+        assert (1.0 / ANALYTICAL_LATENCY_FACTOR < agree["latency_ratio"]
+                < ANALYTICAL_LATENCY_FACTOR), entry
+        assert (1.0 / ANALYTICAL_ENERGY_FACTOR < agree["energy_ratio"]
+                < ANALYTICAL_ENERGY_FACTOR), entry
+
+
+def write_report(report, path=None):
+    if path is None:
+        path = os.path.join(os.path.dirname(__file__), "results",
+                            "metrics_fidelity.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"wrote {path}")
+
+
+def test_metrics_fidelity_smoke():
+    """Pytest entry: every tier evaluates and agrees (tiny grid)."""
+    report = run_benchmark(tiny=True)
+    assert len(report["points"]) == 1
+    assert report["points"][0]["tiers"]["spice"]["latency_total_ps"] > 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke mode: one design, one word length")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args()
+    write_report(run_benchmark(tiny=args.tiny), args.out)

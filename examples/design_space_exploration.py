@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """Design-space exploration of the 1.5T1Fe divider (paper Sec. V-C).
 
-Three studies a cell designer would run with this library:
+Four studies a cell designer would run with this library:
 
 1. sweep TN/TP sizing and the MVT target, ranking candidates by their
    worst-case SL_bar margin (paper Eq. 1 co-optimization);
 2. Monte-Carlo the chosen point under device variability (the concern
    behind the DG-FeFET multi-level-cell literature the paper cites);
-3. compare the banked-macro cost of deploying each design at a router
+3. sweep the architecture grid (design x word length) on the metrics
+   API's analytical tier — the whole Fig. 7-style grid in microseconds,
+   no transient simulation;
+4. compare the banked-macro cost of deploying each design at a router
    scale (4K entries x 64 bits).
 
 Run:  python examples/design_space_exploration.py
@@ -17,6 +20,7 @@ from fecam import DesignKind
 from fecam.arch import TcamMacro
 from fecam.cam import divider_margins, explore_sizing
 from fecam.devices import VariationParams, divider_yield
+from fecam.metrics import sweep
 
 print("=" * 72)
 print("1. Sizing exploration (1.5T1DG-Fe): top candidates by worst margin")
@@ -53,7 +57,22 @@ print("  -> the intermediate MVT ('X') state dominates the spread; "
 
 print()
 print("=" * 72)
-print("3. Router-scale macro (4096 entries x 64 bits)")
+print("3. Architecture grid on the analytical metrics tier (no SPICE)")
+print("=" * 72)
+table = sweep(designs=DesignKind.fefet_designs(),
+              word_lengths=(16, 32, 64, 128), fidelity="analytical")
+print(f"{'design':>12} {'N':>4} {'area um^2':>10} {'ps/search':>10} "
+      f"{'fJ/bit':>7} {'EDP fJ*ns':>10}")
+for i in range(len(table["design"])):
+    print(f"{table['design'][i]:>12} {table['word_length'][i]:>4} "
+          f"{table['cell_area_um2'][i]:>10.3f} "
+          f"{table['latency_total_ps'][i]:>10.1f} "
+          f"{table['energy_avg_fj'][i]:>7.3f} "
+          f"{table['edp_fj_ns'][i]:>10.3f}")
+
+print()
+print("=" * 72)
+print("4. Router-scale macro (4096 entries x 64 bits)")
 print("=" * 72)
 header = f"{'design':>12} {'banks':>5} {'area mm^2':>10} {'pJ/search':>10} {'ns':>6}"
 print(header)

@@ -11,6 +11,12 @@ Layered public API:
   controllers with early termination.
 * :mod:`fecam.arch` — Eva-CAM-style array evaluation: areas, wires, shared
   HV drivers, figures of merit.
+* :mod:`fecam.metrics` — **the design-evaluation API**: one frozen
+  :class:`~fecam.metrics.DesignPoint` evaluated by
+  :func:`~fecam.metrics.evaluate` at selectable fidelity (``"paper"`` /
+  ``"analytical"`` / ``"spice"``) into one canonical
+  :class:`~fecam.metrics.Fom`, memoized in a shared registry, with a
+  columnar :func:`~fecam.metrics.sweep` for design-space grids.
 * :mod:`fecam.functional` — fast behavioral ternary-match engine annotated
   with circuit-tier energy/latency.
 * :mod:`fecam.fabric` — sharded multi-bank TCAM fabric: free-row bank
@@ -50,18 +56,22 @@ from . import spice  # noqa: F401
 from . import devices  # noqa: F401
 from . import cam  # noqa: F401
 from . import arch  # noqa: F401
+from . import metrics  # noqa: F401
 from . import functional  # noqa: F401
 from . import fabric  # noqa: F401
 from . import store  # noqa: F401
 from . import apps  # noqa: F401
 from . import bench  # noqa: F401
 from .fabric import TcamFabric  # noqa: F401  (system tier, raw fabric)
+from .metrics import (DesignPoint, Fom, evaluate,  # noqa: F401
+                      sweep)
 from .store import (CamStore, Match, Query, StoreConfig,  # noqa: F401
                     StoreStats)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["DesignKind", "CamStore", "StoreConfig", "Query", "Match",
-           "StoreStats", "TcamFabric", "spice", "devices", "cam", "arch",
+           "StoreStats", "TcamFabric", "DesignPoint", "Fom", "evaluate",
+           "sweep", "spice", "devices", "cam", "arch", "metrics",
            "functional", "fabric", "store", "apps", "bench",
            "__version__"]

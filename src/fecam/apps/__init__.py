@@ -1,5 +1,16 @@
 """Application substrates: router LPM, associative cache, packet
-classifier, and genomics seed matching (the paper's Sec. I workloads)."""
+classifier, and genomics seed matching (the paper's Sec. I workloads).
+
+Every app is served by :class:`~fecam.store.CamStore` and takes a
+``store_config=`` :class:`~fecam.store.StoreConfig` — including its
+``fidelity`` knob, so an app prices operations at the chosen metrics
+tier purely by config::
+
+    TcamRouter(capacity=1024,
+               store_config=StoreConfig(banks=8, fidelity="analytical"))
+
+builds without ever invoking the SPICE tier.
+"""
 
 from .cache import AccessResult, TcamCache
 from .classifier import Packet, Rule, TcamClassifier, range_to_prefixes

@@ -47,8 +47,10 @@ class AnalyticalEstimate:
     latency_per_eval: float  # s
     evaluations: int  # 1 or 2 (two-step designs)
     latency_total: float  # s
-    energy_per_bit: float  # J
+    energy_per_bit: float  # J (full search, both steps)
     energy_breakdown: Dict[str, float]
+    latency_1step: float = 0.0  # s (search resolved after one evaluation)
+    energy_per_bit_1step: float = 0.0  # J (step-1-terminated search)
 
 
 def _ml_capacitance(design: DesignKind, n: int) -> float:
@@ -145,9 +147,24 @@ def estimate_search(design: DesignKind, word_length: int = 64, *,
     breakdown["sense_amp"] = 0.5e-15 * (vdd / 0.8) ** 2
 
     energy_total = sum(breakdown.values())
+    if evaluations == 2:
+        # Step-1-terminated search: the ML is precharged once and the SA
+        # fires on it once regardless of step count, while the per-step
+        # contributors (divider window, query/select line toggles) are
+        # split evenly across the two evaluations.
+        energy_1step = (breakdown["ml_precharge"] + breakdown["sense_amp"]
+                        + 0.5 * (breakdown["divider_static"]
+                                 + breakdown["query_lines"]
+                                 + breakdown.get("select_lines", 0.0)))
+        latency_1step = t_eval
+    else:
+        energy_1step = energy_total
+        latency_1step = latency_total
     return AnalyticalEstimate(
         design=design, word_length=word_length, ml_capacitance=c_ml,
         pulldown_current=i_pull, latency_per_eval=t_eval,
         evaluations=evaluations, latency_total=latency_total,
         energy_per_bit=energy_total / word_length,
-        energy_breakdown=breakdown)
+        energy_breakdown=breakdown,
+        latency_1step=latency_1step,
+        energy_per_bit_1step=energy_1step / word_length)

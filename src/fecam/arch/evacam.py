@@ -1,12 +1,16 @@
 """Array-level figure-of-merit evaluation (the Eva-CAM role, paper [15]).
 
-``evaluate_array`` aggregates the library's layers into the numbers the
-paper reports in Tab. IV and sweeps in Fig. 7: cell area, write energy,
+``evaluate_array`` is the legacy front door to the numbers the paper
+reports in Tab. IV and sweeps in Fig. 7: cell area, write energy,
 1-/2-step search latency and energy, and the 90 %-step-1-miss average.
-Latency/energy come from the word-level SPICE tier
-(:func:`fecam.cam.word.simulate_word_search`); area, drivers, and encoder
-from the analytical tier.  Results are cached per (design, word length)
-because the benches and tests revisit the same points.
+Since the :mod:`fecam.metrics` redesign it is a thin wrapper over
+``metrics.evaluate(point, fidelity="spice")`` — same arithmetic (the
+word-level SPICE tier via :func:`fecam.cam.word.simulate_word_search`,
+area/drivers/encoder from the analytical tier), now memoized in the
+shared metrics registry instead of a module-private cache.
+:class:`ArrayFoM` is an alias of the canonical
+:class:`~fecam.metrics.Fom`, so legacy and metrics callers exchange the
+very same objects.
 
 The 16T CMOS baseline reports the published silicon figures of [25]
 exactly as the paper does (write voltage 0.9 V, 0.286 um^2, 235 ps,
@@ -15,27 +19,16 @@ exactly as the paper does (write voltage 0.9 V, 0.286 um^2, 235 ps,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
-
 from ..designs import DesignKind
-from ..devices import operating_voltages
-from ..errors import OperationError
-from ..units import FJ, PS, UM
-from .drivers import SharedDriverMat
-from .encoder import PriorityEncoder
-from .geometry import cell_geometry
-
-# The cam tier imports arch.geometry for wire pitches, so evacam pulls the
-# cam entry points lazily inside evaluate_array to avoid a package cycle.
+from ..metrics.fom import Fom as ArrayFoM
+from ..metrics.point import STEP1_MISS_RATE_DEFAULT
+from ..metrics.registry import clear_registry as clear_cache
 
 __all__ = ["ArrayFoM", "evaluate_array", "PAPER_TABLE4", "clear_cache",
            "STEP1_MISS_RATE_DEFAULT"]
 
-#: The paper's pessimistic real-world assumption (Sec. V-B).
-STEP1_MISS_RATE_DEFAULT = 0.90
-
-#: Paper Table IV reference values, for side-by-side reporting.
+#: Paper Table IV reference values, for side-by-side reporting (and the
+#: source of the metrics API's ``fidelity="paper"`` tier).
 #: (write_voltage_v, fe_thickness_nm, cell_area_um2, write_energy_fj,
 #:  latency_1step_ps, latency_total_ps, energy_1step_fj, energy_total_fj,
 #:  energy_avg_fj)
@@ -68,55 +61,6 @@ PAPER_TABLE4 = {
 }
 
 
-@dataclass(frozen=True)
-class ArrayFoM:
-    """Figures of merit for one design at one array size."""
-
-    design: DesignKind
-    rows: int
-    word_length: int
-    write_voltage: str
-    fe_thickness: Optional[float]  # m
-    cell_area: float  # m^2
-    write_energy_per_cell: float  # J
-    latency_1step: float  # s (single search step / single evaluation)
-    latency_total: float  # s (both steps for 1.5T1Fe designs)
-    search_energy_1step: float  # J per cell
-    search_energy_total: float  # J per cell (2 steps)
-    search_energy_avg: float  # J per cell at the assumed step-1 miss rate
-    macro_area: float  # m^2 incl. drivers + encoder
-    driver_count: int
-    encoder_delay: float
-
-    @property
-    def cell_area_um2(self) -> float:
-        return self.cell_area / UM ** 2
-
-    def as_row(self) -> Dict[str, float]:
-        """Flat dict in the paper's units (um^2 / fJ / ps)."""
-        return {
-            "design": str(self.design),
-            "write_voltage": self.write_voltage,
-            "t_fe_nm": (None if self.fe_thickness is None
-                        else self.fe_thickness * 1e9),
-            "cell_area_um2": round(self.cell_area_um2, 4),
-            "write_energy_fj": (None if self.write_energy_per_cell is None
-                                else round(self.write_energy_per_cell / FJ, 3)),
-            "latency_1step_ps": round(self.latency_1step / PS, 1),
-            "latency_total_ps": round(self.latency_total / PS, 1),
-            "energy_1step_fj": round(self.search_energy_1step / FJ, 4),
-            "energy_total_fj": round(self.search_energy_total / FJ, 4),
-            "energy_avg_fj": round(self.search_energy_avg / FJ, 4),
-        }
-
-
-_CACHE: Dict[Tuple, ArrayFoM] = {}
-
-
-def clear_cache() -> None:
-    _CACHE.clear()
-
-
 def evaluate_array(design: DesignKind, *, rows: int = 64,
                    word_length: int = 64,
                    step1_miss_rate: float = STEP1_MISS_RATE_DEFAULT,
@@ -125,65 +69,12 @@ def evaluate_array(design: DesignKind, *, rows: int = 64,
 
     ``step1_miss_rate`` weights the early-termination average exactly as
     the paper does: ``E_avg = p * E_1step + (1-p) * E_2step``.
+
+    Equivalent to ``metrics.evaluate(DesignPoint(...), "spice")`` — the
+    SPICE tier is the ground truth this function has always computed.
     """
-    from ..cam.ops import WriteController
-    from ..cam.word import simulate_word_search
+    from ..metrics import DesignPoint, evaluate
 
-    key = (design, rows, word_length, round(step1_miss_rate, 4), timings)
-    if key in _CACHE:
-        return _CACHE[key]
-    if not 0.0 <= step1_miss_rate <= 1.0:
-        raise OperationError("step1_miss_rate must be in [0, 1]")
-
-    geo = cell_geometry(design)
-    if design.is_fefet:
-        volts = operating_voltages(design)
-        wc = WriteController(design)
-        write_energy = wc.write_energy_per_cell()
-        t_fe = wc.params.ferro.t_fe
-        if design.is_one_fefet:
-            write_v = f"+/-{volts.vw:g}V, {volts.vm:g}V"
-        else:
-            write_v = f"+/-{volts.vw:g}V"
-    else:
-        write_energy = None
-        t_fe = None
-        write_v = "0.9V"
-
-    if design.uses_two_step_search:
-        miss1 = simulate_word_search(design, word_length, "step1_miss",
-                                     timings=timings)
-        miss2 = simulate_word_search(design, word_length, "step2_miss",
-                                     timings=timings)
-        latency_1 = miss1.latency
-        latency_2 = miss2.latency
-        e1 = miss1.energy_per_bit
-        e2 = miss2.energy_per_bit
-        e_avg = step1_miss_rate * e1 + (1.0 - step1_miss_rate) * e2
-    else:
-        miss = simulate_word_search(design, word_length, "miss",
-                                    timings=timings)
-        latency_1 = latency_2 = miss.latency
-        e1 = e2 = e_avg = miss.energy_per_bit
-    if latency_1 is None or latency_2 is None:
-        raise OperationError(
-            f"{design}: mismatch did not resolve within the eval window")
-
-    mat = (SharedDriverMat(design, rows=rows, cols=word_length)
-           if design.is_fefet else None)
-    encoder = PriorityEncoder(rows)
-    cells_area = geo.area * rows * word_length
-    driver_area = mat.driver_area(shared=True) / 4.0 if mat else 0.0
-    macro_area = cells_area + driver_area + encoder.cost().area
-
-    fom = ArrayFoM(
-        design=design, rows=rows, word_length=word_length,
-        write_voltage=write_v, fe_thickness=t_fe, cell_area=geo.area,
-        write_energy_per_cell=write_energy,
-        latency_1step=latency_1, latency_total=latency_2,
-        search_energy_1step=e1, search_energy_total=e2,
-        search_energy_avg=e_avg, macro_area=macro_area,
-        driver_count=mat.driver_count(True) if mat else 0,
-        encoder_delay=encoder.cost().delay)
-    _CACHE[key] = fom
-    return fom
+    point = DesignPoint(design=design, word_length=word_length, rows=rows,
+                        step1_miss_rate=step1_miss_rate, timings=timings)
+    return evaluate(point, fidelity="spice")

@@ -11,13 +11,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..arch import PAPER_TABLE4, SharedDriverMat, evaluate_array
+from ..arch import PAPER_TABLE4, SharedDriverMat
 from ..cam import (TcamArrayCircuit, WriteController, divider_margins,
                    simulate_word_search, two_step_search_outcome)
 from ..cam.states import ternary_match
 from ..designs import DesignKind
 from ..devices import make_fefet, operating_voltages
 from ..functional import TernaryCAM
+from ..metrics import DesignPoint, evaluate, sweep
 from ..units import FJ, PS
 
 __all__ = [
@@ -162,13 +163,20 @@ def table3_operations() -> List[Dict]:
 # Table IV: the headline FoM comparison
 # ---------------------------------------------------------------------------
 
-def table4_fom(rows: int = 64, word_length: int = 64) -> List[Dict]:
-    """Every design's FoM next to the paper's reported value."""
+def table4_fom(rows: int = 64, word_length: int = 64,
+               fidelity: str = "spice") -> List[Dict]:
+    """Every design's FoM next to the paper's reported value.
+
+    ``fidelity`` selects the metrics tier producing the measured column
+    (``"spice"`` reproduces the historical SPICE-backed table;
+    ``"analytical"`` regenerates it in microseconds).
+    """
     out = []
     for design in (DesignKind.CMOS_16T, DesignKind.SG_2FEFET,
                    DesignKind.DG_2FEFET, DesignKind.SG_1T5,
                    DesignKind.DG_1T5):
-        fom = evaluate_array(design, rows=rows, word_length=word_length)
+        fom = evaluate(DesignPoint(design=design, rows=rows,
+                                   word_length=word_length), fidelity)
         measured = fom.as_row()
         paper = PAPER_TABLE4[design]
         out.append({"design": str(design), "paper": paper,
@@ -181,21 +189,26 @@ def table4_fom(rows: int = 64, word_length: int = 64) -> List[Dict]:
 # ---------------------------------------------------------------------------
 
 def fig7_wordlength_sweep(word_lengths: Sequence[int] = (16, 32, 64, 128),
+                          fidelity: str = "spice",
                           ) -> Dict[str, Dict[int, Dict[str, float]]]:
-    """Search latency and energy/bit vs word length, four FeFET designs."""
-    sweep: Dict[str, Dict[int, Dict[str, float]]] = {}
-    for design in DesignKind.fefet_designs():
-        series = {}
-        for n in word_lengths:
-            fom = evaluate_array(design, rows=64, word_length=n)
-            series[n] = {
-                "latency_ps": fom.latency_total / PS,
-                "latency_1step_ps": fom.latency_1step / PS,
-                "energy_avg_fj_per_bit": fom.search_energy_avg / FJ,
-                "energy_1step_fj_per_bit": fom.search_energy_1step / FJ,
-            }
-        sweep[str(design)] = series
-    return sweep
+    """Search latency and energy/bit vs word length, four FeFET designs.
+
+    Runs on :func:`fecam.metrics.sweep`; ``fidelity="analytical"``
+    regenerates the figure in microseconds for quick what-ifs.
+    """
+    table = sweep(designs=DesignKind.fefet_designs(),
+                  word_lengths=tuple(word_lengths), rows=(64,),
+                  fidelity=fidelity)
+    out: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for i, design in enumerate(table["design"]):
+        n = int(table["word_length"][i])
+        out.setdefault(design, {})[n] = {
+            "latency_ps": float(table["latency_total_ps"][i]),
+            "latency_1step_ps": float(table["latency_1step_ps"][i]),
+            "energy_avg_fj_per_bit": float(table["energy_avg_fj"][i]),
+            "energy_1step_fj_per_bit": float(table["energy_1step_fj"][i]),
+        }
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -215,7 +228,8 @@ def ablation_early_termination(miss_rates: Sequence[float] = (
     termination (Sec. III-B3's energy-saving claim)."""
     out = []
     for design in (DesignKind.SG_1T5, DesignKind.DG_1T5):
-        base = evaluate_array(design, word_length=word_length)
+        base = evaluate(DesignPoint(design=design,
+                                    word_length=word_length), "spice")
         e1 = base.search_energy_1step
         e2 = base.search_energy_total
         for p in miss_rates:

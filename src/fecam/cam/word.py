@@ -23,6 +23,7 @@ while row-wise lines (SeLa/SeLb, ML) carry their full wire load.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -396,7 +397,8 @@ def simulate_word_search(design: DesignKind, n_bits: int = 64,
     Either pass a named ``scenario`` (content synthesized per the paper's
     average-case convention) or explicit ``stored``/``query`` words (the
     scenario label is then informational).  Early termination is applied
-    automatically for the two-step designs.
+    automatically for the two-step designs.  ``timings`` accepts a
+    :class:`WordTimings` or a mapping of its field overrides.
     """
     valid = (SCENARIOS_TWO_STEP if design.uses_two_step_search
              else SCENARIOS_SINGLE_STEP)
@@ -414,6 +416,10 @@ def simulate_word_search(design: DesignKind, n_bits: int = 64,
         if n_bits % 2 and design.uses_two_step_search:
             raise OperationError("two-step designs need even word lengths")
 
+    if isinstance(timings, Mapping):
+        # Field-override mappings (what DesignPoint also normalizes) are
+        # as good as a full WordTimings plan.
+        timings = WordTimings(**dict(timings))
     timings = (timings or WordTimings()).for_design(design, n_bits)
     builder = _WordBuilder(design, stored, query, scenario, timings)
     ckt = builder.build()

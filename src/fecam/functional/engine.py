@@ -14,7 +14,7 @@ the test suite enforces by property tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -23,6 +23,7 @@ from ..designs import DesignKind
 from ..errors import OperationError, TernaryValueError
 from ..cam.states import normalize_query, normalize_word
 from ..cam.ops import SearchPolicy
+from ..metrics.point import FIDELITIES
 
 __all__ = ["TernaryCAM", "SearchStats", "EnergyModel", "pack_word",
            "pack_words", "CHUNK_BITS", "n_chunks_for"]
@@ -123,13 +124,18 @@ class SearchStats:
         return self.step1_eliminated / self.rows_searched
 
 
-@dataclass
+@dataclass(frozen=True)
 class EnergyModel:
     """Per-bit search energies/latency for one design.
 
-    By default lazily pulled from the circuit tier
-    (:func:`fecam.arch.evaluate_array`); override the fields for
-    what-if studies without running SPICE.
+    Frozen: a model can be shared between arrays, fabrics, and stores
+    without one consumer's resolution bleeding into another.  Unset
+    fields are lazily priced by the metrics tier
+    (:func:`fecam.metrics.evaluate`) at the chosen ``fidelity`` —
+    ``"spice"`` (ground truth, the historical default), ``"analytical"``
+    (closed form, microseconds), or ``"paper"`` (published Table IV
+    values).  Construct with explicit fields for what-if studies without
+    running any model at all.
     """
 
     design: DesignKind
@@ -139,19 +145,39 @@ class EnergyModel:
     latency_1step: Optional[float] = None
     latency_2step: Optional[float] = None
     write_energy_per_cell: Optional[float] = None
+    fidelity: str = "spice"
+
+    def __post_init__(self) -> None:
+        if self.fidelity not in FIDELITIES:
+            raise OperationError(
+                f"fidelity must be one of {FIDELITIES}, "
+                f"got {self.fidelity!r}")
+
+    @property
+    def resolved(self) -> bool:
+        return self.e_1step_per_bit is not None
 
     def resolve(self) -> "EnergyModel":
-        if self.e_1step_per_bit is not None:
-            return self
-        from ..arch.evacam import evaluate_array
+        """Return a fully-priced model (``self`` if already resolved).
 
-        fom = evaluate_array(self.design, word_length=self.word_length)
-        self.e_1step_per_bit = fom.search_energy_1step
-        self.e_2step_per_bit = fom.search_energy_total
-        self.latency_1step = fom.latency_1step
-        self.latency_2step = fom.latency_total
-        self.write_energy_per_cell = (fom.write_energy_per_cell or 0.0)
-        return self
+        Never mutates: callers holding the unresolved instance keep it
+        unchanged, so one model shared across stores cannot be
+        cross-contaminated by another's resolution.
+        """
+        if self.resolved:
+            return self
+        from ..metrics import DesignPoint, evaluate
+
+        fom = evaluate(DesignPoint(design=self.design,
+                                   word_length=self.word_length),
+                       fidelity=self.fidelity)
+        return replace(
+            self,
+            e_1step_per_bit=fom.search_energy_1step,
+            e_2step_per_bit=fom.search_energy_total,
+            latency_1step=fom.latency_1step,
+            latency_2step=fom.latency_total,
+            write_energy_per_cell=fom.write_energy_per_cell or 0.0)
 
 
 class TernaryCAM:
@@ -216,7 +242,7 @@ class TernaryCAM:
         self._value[row], self._care[row] = self._pack(word)
         self._valid[row] = True
         self.write_count += 1
-        model = self._energy.resolve()
+        model = self._resolved_energy()
         self.energy_spent += (model.write_energy_per_cell or 0.0) * self.width
 
     def write_many(self, rows: Sequence[int], words: Sequence[str], *,
@@ -256,7 +282,7 @@ class TernaryCAM:
         self._care[row_arr] = care
         self._valid[row_arr] = True
         self.write_count += len(rows)
-        model = self._energy.resolve()
+        model = self._resolved_energy()
         per_write = (model.write_energy_per_cell or 0.0) * self.width
         for _ in range(len(rows)):  # accumulate like sequential writes
             self.energy_spent += per_write
@@ -295,6 +321,17 @@ class TernaryCAM:
     def occupancy(self) -> int:
         return int(self._valid.sum())
 
+    @property
+    def energy_model(self) -> EnergyModel:
+        """The (possibly still unresolved) pricing model in effect."""
+        return self._energy
+
+    @energy_model.setter
+    def energy_model(self, model: EnergyModel) -> None:
+        # What-if studies swap in a whole new frozen model; the next
+        # operation prices with it (resolving lazily if fields are unset).
+        self._energy = model
+
     # -- search -------------------------------------------------------------------
 
     def pack_query(self, query: str) -> np.ndarray:
@@ -320,20 +357,31 @@ class TernaryCAM:
         mask_bits, _ = pack_word(mask, self.width)
         return mask_bits
 
-    def _search_constants(self) -> Tuple[float, float, float, float, bool, bool]:
-        """Per-word FoM constants (e1, e2, lat1, lat2, two_step, early).
+    def _resolved_energy(self) -> EnergyModel:
+        """The priced model, resolving (and keeping) it on first use.
 
-        Model and policy fields are read live — overriding
-        :class:`EnergyModel` fields mid-run for what-if studies must
-        take effect on the next search, exactly as a fresh ``resolve()``
-        would.  Only the design's two-step flag is cached (at
-        construction): ``_finish_search`` runs for every (query, bank)
-        pair of a batch, and the enum-property chain would dominate the
-        vectorized kernel.
+        :class:`EnergyModel` is frozen, so resolution swaps in the new
+        resolved instance instead of mutating — an unresolved model
+        shared with other arrays stays untouched.
         """
         model = self._energy
         if model.e_1step_per_bit is None:
-            model.resolve()
+            model = model.resolve()
+            self._energy = model
+        return model
+
+    def _search_constants(self) -> Tuple[float, float, float, float, bool, bool]:
+        """Per-word FoM constants (e1, e2, lat1, lat2, two_step, early).
+
+        Model and policy fields are read live — swapping a new frozen
+        :class:`EnergyModel` onto :attr:`energy_model` mid-run for
+        what-if studies takes effect on the next search.  Only the
+        design's two-step flag is cached (at construction):
+        ``_finish_search`` runs for every (query, bank) pair of a batch,
+        and the enum-property chain would dominate the vectorized
+        kernel.
+        """
+        model = self._resolved_energy()
         two_step = self._two_step_search
         return (model.e_1step_per_bit * self.width,
                 model.e_2step_per_bit * self.width,

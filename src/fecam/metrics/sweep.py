@@ -1,0 +1,109 @@
+"""`sweep` — columnar evaluation over a grid of design points.
+
+Architecture exploration asks the same question many times (every
+design × word length × bank count); ``sweep()`` walks the Cartesian
+grid through the memoized :func:`~fecam.metrics.evaluate` and returns
+*columnar* data — one NumPy array per figure of merit — ready for
+plotting, ranking, or dataframe construction without per-row dict
+shuffling.  On the analytical tier a full Fig. 7-style grid runs in
+microseconds per point.
+
+>>> from fecam.designs import DesignKind
+>>> from fecam.metrics import sweep
+>>> table = sweep(designs=(DesignKind.DG_1T5,), word_lengths=(16, 64),
+...               fidelity="paper")
+>>> table["word_length"].tolist()
+[16, 64]
+>>> table["energy_avg_fj"].shape
+(2,)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..designs import DesignKind
+from ..units import FJ, PS
+from .evaluate import evaluate
+from .point import DesignPoint, STEP1_MISS_RATE_DEFAULT
+
+__all__ = ["sweep", "sweep_records"]
+
+#: Numeric columns emitted by :func:`sweep`, in paper units.
+_NUMERIC_COLUMNS = (
+    "word_length", "rows", "banks", "cell_area_um2", "macro_area_um2",
+    "write_energy_fj", "latency_1step_ps", "latency_total_ps",
+    "energy_1step_fj", "energy_total_fj", "energy_avg_fj", "edp_fj_ns",
+)
+
+
+def sweep(*, designs: Optional[Iterable[DesignKind]] = None,
+          word_lengths: Sequence[int] = (64,),
+          rows: Sequence[int] = (64,),
+          banks: Sequence[int] = (1,),
+          step1_miss_rate: float = STEP1_MISS_RATE_DEFAULT,
+          fidelity: str = "analytical",
+          timings=None) -> Dict[str, np.ndarray]:
+    """Evaluate the full grid and return one column per figure of merit.
+
+    Iteration order is ``designs`` (outermost) × ``banks`` × ``rows`` ×
+    ``word_lengths`` (innermost), so a single-design sweep reads straight
+    down a plot axis.  The ``design`` and ``fidelity`` columns are object
+    arrays of strings; every other column is numeric (``write_energy_fj``
+    is NaN where the design has no FeFET write, i.e. the CMOS baseline).
+
+    >>> from fecam.designs import DesignKind
+    >>> t = sweep(designs=DesignKind.fefet_designs(), fidelity="paper")
+    >>> len(t["design"])
+    4
+    """
+    designs = (tuple(designs) if designs is not None
+               else DesignKind.fefet_designs())
+    foms = [evaluate(DesignPoint(design=design, word_length=n, rows=r,
+                                 banks=b, step1_miss_rate=step1_miss_rate,
+                                 timings=timings), fidelity)
+            for design in designs
+            for b in banks
+            for r in rows
+            for n in word_lengths]
+    out: Dict[str, np.ndarray] = {
+        "design": np.array([str(f.design) for f in foms], dtype=object),
+        "fidelity": np.array([f.fidelity for f in foms], dtype=object),
+    }
+    # Columns come from the raw Fom fields, not as_row(): the latter
+    # rounds to Table-IV display precision, which would quantize
+    # downstream ratio/error analyses built on the sweep.
+    extract = {
+        "word_length": lambda f: f.word_length,
+        "rows": lambda f: f.rows,
+        "banks": lambda f: f.banks,
+        "cell_area_um2": lambda f: f.cell_area_um2,
+        "macro_area_um2": lambda f: f.macro_area / 1e-12,
+        "write_energy_fj": lambda f: (np.nan
+                                      if f.write_energy_per_cell is None
+                                      else f.write_energy_per_cell / FJ),
+        "latency_1step_ps": lambda f: f.latency_1step / PS,
+        "latency_total_ps": lambda f: f.latency_total / PS,
+        "energy_1step_fj": lambda f: f.search_energy_1step / FJ,
+        "energy_total_fj": lambda f: f.search_energy_total / FJ,
+        "energy_avg_fj": lambda f: f.search_energy_avg / FJ,
+        "edp_fj_ns": lambda f: f.edp / (FJ * 1e-9),
+    }
+    for column in _NUMERIC_COLUMNS:
+        dtype = np.int64 if column in ("word_length", "rows",
+                                       "banks") else np.float64
+        out[column] = np.asarray([extract[column](f) for f in foms],
+                                 dtype=dtype)
+    return out
+
+
+def sweep_records(table: Dict[str, np.ndarray]) -> List[Dict]:
+    """Transpose a :func:`sweep` table into a list of per-point dicts."""
+    n = len(table["design"])
+    columns = list(table)
+    return [{column: (table[column][i].item()
+                      if isinstance(table[column][i], np.generic)
+                      else table[column][i])
+             for column in columns} for i in range(n)]

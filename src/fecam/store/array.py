@@ -15,7 +15,7 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence
 from ..errors import OperationError
 from ..fabric.bank import CamBank
 from ..fabric.batch import pack_queries, search_packed_batch
-from ..functional.engine import EnergyModel, TernaryCAM, pack_words
+from ..functional.engine import TernaryCAM, pack_words
 from .backend import SearchBackend
 from .config import StoreConfig
 from .result import Match, Query, QueryResult
@@ -34,10 +34,9 @@ class ArrayBackend(SearchBackend):
         if config.backend_kind != "array":
             raise OperationError(
                 f"config resolves to the {config.backend_kind!r} backend")
-        model = config.energy_model or EnergyModel(config.design,
-                                                   config.width)
         self._bank = CamBank(0, config.rows, config.width, config.design,
-                             energy_model=model, cam=cam)
+                             energy_model=config.resolve_energy_model(),
+                             cam=cam)
         self._entries: Dict[Hashable, Match] = {}
         self._row_entry: List[Optional[Match]] = [None] * config.rows
         if cam is not None:

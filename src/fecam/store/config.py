@@ -4,7 +4,10 @@ One :class:`StoreConfig` value describes the full layout of an
 associative store — word width, total row capacity, bank count, the
 paper design pricing every operation, query caching, and key placement —
 so scaling a workload from one array to a sharded multi-bank fabric is a
-config edit, not a code change.
+config edit, not a code change.  ``fidelity`` selects the metrics tier
+that prices operations (``"spice"`` ground truth — the default —
+``"analytical"`` closed form, or ``"paper"`` published values), so a
+store can trade pricing accuracy for construction speed by config alone.
 """
 
 from __future__ import annotations
@@ -15,8 +18,9 @@ from typing import Optional
 from ..designs import DesignKind
 from ..errors import OperationError
 from ..functional.engine import EnergyModel
+from ..metrics.point import FIDELITIES
 
-__all__ = ["StoreConfig", "BACKEND_KINDS", "PLACEMENTS"]
+__all__ = ["StoreConfig", "BACKEND_KINDS", "PLACEMENTS", "FIDELITIES"]
 
 #: Accepted ``StoreConfig.backend`` values. ``"auto"`` picks the array
 #: backend for a single bank and the fabric backend for several.
@@ -46,10 +50,15 @@ class StoreConfig:
     cache_size: int = 0                   # 0 disables the query cache
     placement: str = "striped"            # one of PLACEMENTS
     energy_model: Optional[EnergyModel] = None
+    fidelity: str = "spice"               # one of metrics.FIDELITIES
 
     def __post_init__(self) -> None:
         if self.banks < 1:
             raise OperationError("a store needs at least one bank")
+        if self.fidelity not in FIDELITIES:
+            raise OperationError(
+                f"fidelity must be one of {FIDELITIES}, "
+                f"got {self.fidelity!r}")
         if self.cache_size < 0:
             raise OperationError("cache_size must be non-negative")
         if self.backend not in BACKEND_KINDS:
@@ -70,6 +79,29 @@ class StoreConfig:
             raise OperationError("rows must be positive")
 
     # -- derived layout ----------------------------------------------------------
+
+    def resolve_energy_model(self) -> EnergyModel:
+        """The pricing model a backend built from this config should use.
+
+        An explicit fully-priced ``energy_model`` wins (what-if studies
+        with fixed numbers — its ``fidelity`` tag is moot); otherwise an
+        unresolved model at this config's ``fidelity``, so
+        ``fidelity="analytical"`` stores never touch the SPICE tier, at
+        construction or later.  An *unresolved* explicit model whose
+        fidelity contradicts the config's is rejected: silently honoring
+        either side would surprise the other.
+        """
+        if self.energy_model is not None:
+            model = self.energy_model
+            if not model.resolved and model.fidelity != self.fidelity:
+                raise OperationError(
+                    f"energy_model.fidelity={model.fidelity!r} conflicts "
+                    f"with StoreConfig.fidelity={self.fidelity!r}; price "
+                    "the model, align the fidelities, or drop one")
+            return model
+        if self.width is None:
+            raise OperationError("width is not set; call resolved() first")
+        return EnergyModel(self.design, self.width, fidelity=self.fidelity)
 
     @property
     def backend_kind(self) -> str:

@@ -38,7 +38,7 @@ class FabricBackend(SearchBackend):
         self.fabric = TcamFabric(
             banks=config.banks, rows_per_bank=config.rows_per_bank,
             width=config.width, design=config.design, sharding=sharding,
-            energy_model=config.energy_model, cache_size=0)
+            energy_model=config.resolve_energy_model(), cache_size=0)
         self._matches: Dict[Hashable, Match] = {}
 
     def _bank_for(self, seq: int) -> Optional[int]:
