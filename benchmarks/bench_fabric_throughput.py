@@ -1,40 +1,56 @@
-"""Fabric throughput: sequential vs. batched vs. cached search.
+"""Fabric throughput: serving strategies and batch-kernel generations.
 
-Measures queries/sec and per-query energy on fabrics of 1, 4, and 16
-banks (1024 rows x 64 bits each), for three serving strategies:
+Measures two things on fabrics of 1, 4, and 16 banks (1024 rows x 64
+bits each, ``--tiny`` shrinks everything for CI smoke):
+
+**Serving strategies** (queries/sec and per-query energy):
 
 * ``sequential`` — a Python loop of per-bank ``TernaryCAM.search()``
   calls, the baseline every fabric result is bit-identical to;
-* ``batched``    — ``TcamFabric.search_batch`` through the vectorized
-  two-step kernel;
+* ``batched``    — ``TcamFabric.search_batch`` through the fused
+  arena kernel;
 * ``cached``     — the same batch against a warm LRU query cache with a
   Zipf-ish repeated-query trace.
 
-Emits JSON (``benchmarks/results/fabric_throughput.json`` by default)
-for the bench trajectory, and asserts the tentpole acceptance criterion:
-on the 16-bank fabric, batched search is >= 20x sequential while
-returning bit-identical matches and energy.
+**Kernel generations** (the planes-refactor acceptance criterion): the
+fused arena kernel on warm derived planes vs. the pre-planes per-bank
+kernel it replaced (one dense count kernel per bank, recompressing its
+step planes on every call).  On the headline fabric the fused kernel
+must be >= KERNEL_FLOOR x the per-bank loop while returning identical
+counts and matches (>= 2x at 16 banks full-size; >= 1x in ``--tiny``
+smoke, where wall-clock noise dominates).
 
-Run directly (``python benchmarks/bench_fabric_throughput.py``) or via
-pytest (``pytest benchmarks/bench_fabric_throughput.py``).
+Emits JSON twice: the full report at
+``benchmarks/results/fabric_throughput.json`` (CI artifact), and the
+machine-trackable ``BENCH_fabric.json`` at the repo root — rows of
+``{metric, value, unit, config}`` for the perf trajectory.
+
+Run directly (``python benchmarks/bench_fabric_throughput.py
+[--tiny]``) or via pytest (``pytest
+benchmarks/bench_fabric_throughput.py``).
 """
 
+import argparse
 import json
 import os
 import random
 import time
 
 from fecam.designs import DesignKind
-from fecam.fabric import TcamFabric
+from fecam.fabric import TcamFabric, batch_count_matches, fused_count_matches
+from fecam.fabric.batch import pack_queries
 from fecam.functional import EnergyModel
 
-ROWS_PER_BANK = 1024
 WIDTH = 64
 FILL = 0.75
-N_QUERIES = 1000
-UNIQUE_HOT_QUERIES = 100  # cached scenario draws from this hot set
-BANK_COUNTS = (1, 4, 16)
-SPEEDUP_FLOOR = 20.0  # acceptance criterion, checked at 16 banks
+UNIQUE_HOT_FRACTION = 10  # cached trace draws from queries/10 hot queries
+
+FULL = dict(mode="full", bank_counts=(1, 4, 16), rows_per_bank=1024,
+            queries=1000, batch_floor=20.0, kernel_floor=2.0, repeats=3)
+TINY = dict(mode="tiny", bank_counts=(4,), rows_per_bank=128,
+            queries=200, batch_floor=2.0, kernel_floor=1.0, repeats=3)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def _fast_model():
@@ -44,11 +60,11 @@ def _fast_model():
                        latency_2step=2.3e-9, write_energy_per_cell=0.41e-15)
 
 
-def _build_fabric(banks, rng, cache_size=0):
-    fabric = TcamFabric(banks=banks, rows_per_bank=ROWS_PER_BANK,
+def _build_fabric(banks, rows_per_bank, rng, cache_size=0):
+    fabric = TcamFabric(banks=banks, rows_per_bank=rows_per_bank,
                         width=WIDTH, energy_model=_fast_model(),
                         cache_size=cache_size)
-    n_words = int(banks * ROWS_PER_BANK * FILL)
+    n_words = int(banks * rows_per_bank * FILL)
     words = ["".join(rng.choice("01X") for _ in range(WIDTH))
              for _ in range(n_words)]
     fabric.insert_many(words, keys=list(range(n_words)),
@@ -56,7 +72,7 @@ def _build_fabric(banks, rng, cache_size=0):
     return fabric
 
 
-def _best_of(fn, repeats=3):
+def _best_of(fn, repeats):
     """Min-of-N wall time (standard noise suppression); returns
     (best_seconds, result_of_last_run)."""
     best = float("inf")
@@ -68,31 +84,74 @@ def _best_of(fn, repeats=3):
     return best, result
 
 
-def _measure(banks):
+def _measure_kernels(fabric, q_matrix, repeats):
+    """Fused arena kernel (warm planes) vs the pre-planes per-bank loop
+    (dense, recompressing every call); asserts identical counts."""
+    banks = fabric.num_banks
+    rows_per_bank = fabric.rows_per_bank
+
+    def per_bank():
+        return [batch_count_matches(bank.cam, q_matrix, kernel="dense",
+                                    reuse_cache=False)
+                for bank in fabric.banks]
+
+    def fused():
+        return fused_count_matches(fabric.arena, q_matrix, n_banks=banks,
+                                   rows_per_bank=rows_per_bank)
+
+    fused()  # warm the derived planes and the candidate index
+    t_per_bank, per_bank_counts = _best_of(per_bank, repeats)
+    t_fused, fused_counts = _best_of(fused, repeats)
+
+    for b, counts in enumerate(per_bank_counts):
+        assert int(fused_counts.rows_searched[b]) == counts.rows_searched
+        assert (fused_counts.step1_eliminated[b]
+                == counts.step1_eliminated).all()
+        assert (fused_counts.step2_misses[b] == counts.step2_misses).all()
+        assert (fused_counts.full_matches[b] == counts.full_matches).all()
+    loop_pairs = sorted(
+        (q, b * rows_per_bank + r) for b, counts in enumerate(per_bank_counts)
+        for q, r in zip(counts.match_q, counts.match_rows))
+    assert sorted(zip(fused_counts.match_q,
+                      fused_counts.match_rows)) == loop_pairs
+    return {
+        "per_bank_kernel_ms": t_per_bank * 1e3,
+        "fused_kernel_ms": t_fused * 1e3,
+        "fused_kernel_speedup": t_per_bank / t_fused,
+        "fused_kernel_kind": fused_counts.kernel,
+    }
+
+
+def _measure(banks, sizes):
     """One configuration; returns the result row dict."""
+    rows_per_bank = sizes["rows_per_bank"]
+    n_queries = sizes["queries"]
+    repeats = sizes["repeats"]
     rng = random.Random(20230710 + banks)
     queries = ["".join(rng.choice("01") for _ in range(WIDTH))
-               for _ in range(N_QUERIES)]
+               for _ in range(n_queries)]
     hot = ["".join(rng.choice("01") for _ in range(WIDTH))
-           for _ in range(UNIQUE_HOT_QUERIES)]
-    hot_trace = [rng.choice(hot) for _ in range(N_QUERIES)]
+           for _ in range(max(n_queries // UNIQUE_HOT_FRACTION, 1))]
+    hot_trace = [rng.choice(hot) for _ in range(n_queries)]
 
     # Identical twin fabrics so energy accounting can be compared 1:1.
-    seq_fabric = _build_fabric(banks, random.Random(42))
-    bat_fabric = _build_fabric(banks, random.Random(42))
-    cache_fabric = _build_fabric(banks, random.Random(42),
-                                 cache_size=4 * UNIQUE_HOT_QUERIES)
+    seq_fabric = _build_fabric(banks, rows_per_bank, random.Random(42))
+    bat_fabric = _build_fabric(banks, rows_per_bank, random.Random(42))
+    cache_fabric = _build_fabric(banks, rows_per_bank, random.Random(42),
+                                 cache_size=4 * len(hot))
 
     def run_sequential():
         return [[bank.cam.search(q) for bank in seq_fabric.banks]
                 for q in queries]
 
-    t_seq, seq_results = _best_of(run_sequential)
+    t_seq, seq_results = _best_of(run_sequential, repeats)
     t_batch, bat_results = _best_of(
-        lambda: bat_fabric.search_batch(queries, use_cache=False))
-    cache_fabric.search_batch(hot_trace[:200], use_cache=True)  # warm
+        lambda: bat_fabric.search_batch(queries, use_cache=False), repeats)
+    cache_fabric.search_batch(hot_trace[:n_queries // 5],
+                              use_cache=True)  # warm
     t_cached, _ = _best_of(
-        lambda: cache_fabric.search_batch(hot_trace, use_cache=True))
+        lambda: cache_fabric.search_batch(hot_trace, use_cache=True),
+        repeats)
 
     # Bit-identical matches and energy accounting vs. the loop.
     for per_bank, merged in zip(seq_results, bat_results):
@@ -107,38 +166,76 @@ def _measure(banks):
     for bank_seq, bank_bat in zip(seq_fabric.banks, bat_fabric.banks):
         assert bank_seq.cam.energy_spent == bank_bat.cam.energy_spent
 
+    q_matrix = pack_queries(queries, WIDTH)
+    kernels = _measure_kernels(bat_fabric, q_matrix, repeats)
+
     total_energy = sum(r.energy for r in bat_results)
-    return {
+    row = {
         "banks": banks,
-        "rows_per_bank": ROWS_PER_BANK,
+        "rows_per_bank": rows_per_bank,
         "width_bits": WIDTH,
         "occupancy": bat_fabric.occupancy,
-        "queries": N_QUERIES,
-        "sequential_qps": N_QUERIES / t_seq,
-        "batched_qps": N_QUERIES / t_batch,
-        "cached_qps": N_QUERIES / t_cached,
+        "queries": n_queries,
+        "sequential_qps": n_queries / t_seq,
+        "batched_qps": n_queries / t_batch,
+        "cached_qps": n_queries / t_cached,
         "batch_speedup": t_seq / t_batch,
         "cache_speedup": t_seq / t_cached,
         "cache_hit_rate": cache_fabric.stats.cache_hit_rate,
-        "energy_per_query_j": total_energy / N_QUERIES,
+        "energy_per_query_j": total_energy / n_queries,
         "bit_identical": True,
     }
+    row.update(kernels)
+    return row
 
 
-def run(json_path=None):
-    rows = [_measure(banks) for banks in BANK_COUNTS]
+def _bench_rows(rows, sizes):
+    """Flatten results to the repo-root ``{metric, value, unit, config}``
+    schema shared by every BENCH_*.json."""
+    units = {
+        "sequential_qps": "query/s", "batched_qps": "query/s",
+        "cached_qps": "query/s", "batch_speedup": "x",
+        "cache_speedup": "x", "cache_hit_rate": "ratio",
+        "energy_per_query_j": "J", "per_bank_kernel_ms": "ms",
+        "fused_kernel_ms": "ms", "fused_kernel_speedup": "x",
+    }
+    out = []
+    for row in rows:
+        config = {"banks": row["banks"],
+                  "rows_per_bank": row["rows_per_bank"],
+                  "width_bits": row["width_bits"],
+                  "queries": row["queries"], "fill": FILL,
+                  "mode": sizes["mode"]}
+        for metric, unit in units.items():
+            out.append({"metric": metric, "value": row[metric],
+                        "unit": unit, "config": config})
+    return out
+
+
+def run(sizes, json_path=None):
+    rows = [_measure(banks, sizes) for banks in sizes["bank_counts"]]
+    default_paths = json_path is None
     if json_path is None:
         json_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                  "results", "fabric_throughput.json")
     os.makedirs(os.path.dirname(json_path), exist_ok=True)
     payload = {"benchmark": "fabric_throughput",
-               "config": {"rows_per_bank": ROWS_PER_BANK,
+               "config": {"rows_per_bank": sizes["rows_per_bank"],
                           "width_bits": WIDTH, "fill": FILL,
-                          "queries": N_QUERIES},
+                          "queries": sizes["queries"],
+                          "mode": sizes["mode"]},
                "results": rows}
     with open(json_path, "w") as handle:
         json.dump(payload, handle, indent=2)
-    return rows, json_path
+    paths = [json_path]
+    # The repo-root trajectory file only ever holds full-size numbers:
+    # a --tiny smoke (or an --out redirect) must not clobber it.
+    if sizes["mode"] == "full" and default_paths:
+        root_path = os.path.join(_REPO_ROOT, "BENCH_fabric.json")
+        with open(root_path, "w") as handle:
+            json.dump(_bench_rows(rows, sizes), handle, indent=2)
+        paths.append(root_path)
+    return rows, paths
 
 
 def print_report(rows):
@@ -150,20 +247,45 @@ def print_report(rows):
         [[r["banks"], r["sequential_qps"], r["batched_qps"],
           r["cached_qps"], r["batch_speedup"], r["cache_hit_rate"],
           r["energy_per_query_j"]] for r in rows])
+    print_experiment(
+        "Batch kernel: fused arena (warm planes) vs per-bank loop",
+        ["banks", "per-bank ms", "fused ms", "speedup", "kind"],
+        [[r["banks"], r["per_bank_kernel_ms"], r["fused_kernel_ms"],
+          r["fused_kernel_speedup"], r["fused_kernel_kind"]]
+         for r in rows])
 
 
-def test_bench_fabric_throughput():
-    rows, json_path = run()
-    print_report(rows)
-    print(f"JSON written to {json_path}")
-    headline = next(r for r in rows if r["banks"] == max(BANK_COUNTS))
+def check_floors(rows, sizes):
+    headline = next(r for r in rows
+                    if r["banks"] == max(sizes["bank_counts"]))
     assert headline["bit_identical"]
-    assert headline["batch_speedup"] >= SPEEDUP_FLOOR, (
+    assert headline["batch_speedup"] >= sizes["batch_floor"], (
         f"batched search is only {headline['batch_speedup']:.1f}x the "
-        f"sequential loop (acceptance floor {SPEEDUP_FLOOR}x)")
+        f"sequential loop (acceptance floor {sizes['batch_floor']}x)")
+    assert headline["fused_kernel_speedup"] >= sizes["kernel_floor"], (
+        f"fused arena kernel is only "
+        f"{headline['fused_kernel_speedup']:.2f}x the per-bank kernel "
+        f"it replaced (acceptance floor {sizes['kernel_floor']}x)")
     # The cache should beat even the batched path on a hot-set trace.
     assert headline["cached_qps"] > headline["batched_qps"]
 
 
+def test_bench_fabric_throughput():
+    rows, paths = run(FULL)
+    print_report(rows)
+    print("JSON written to " + ", ".join(paths))
+    check_floors(rows, FULL)
+
+
 if __name__ == "__main__":
-    test_bench_fabric_throughput()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke mode: small fabric, same floors "
+                             "logic with a >= 1x kernel floor")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args()
+    sizes = TINY if args.tiny else FULL
+    result_rows, out_paths = run(sizes, args.out)
+    print_report(result_rows)
+    print("JSON written to " + ", ".join(out_paths))
+    check_floors(result_rows, sizes)

@@ -5,8 +5,10 @@ associative cache, genomics seed index, Hamming nearest-neighbor)
 through the unified :class:`~fecam.store.CamStore` front door, once on
 the single-array backend and once on a sharded fabric backend with
 query caching, and reports queries/sec plus store telemetry for each
-combination.  Emits JSON (``benchmarks/results/store_api.json``) for
-the bench trajectory.
+combination.  Emits JSON twice: the full report at
+``benchmarks/results/store_api.json`` (CI artifact), and the
+machine-trackable ``BENCH_store.json`` at the repo root — rows of
+``{metric, value, unit, config}`` for the perf trajectory.
 
 Run directly (``python benchmarks/bench_store_api.py``; ``--tiny``
 shrinks every workload for CI smoke), or via pytest
@@ -186,6 +188,31 @@ def run_benchmark(tiny=False):
     return report
 
 
+def _bench_rows(report):
+    """Flatten the report to the repo-root ``{metric, value, unit,
+    config}`` schema shared by every BENCH_*.json."""
+    rows = []
+    for workload, entry in report["workloads"].items():
+        for backend in ("array", "fabric"):
+            config = {"workload": workload, "backend": backend,
+                      "banks": entry[backend]["store"]["banks"],
+                      "mode": report["mode"]}
+            rows.append({"metric": "queries_per_sec",
+                         "value": entry[backend]["queries_per_sec"],
+                         "unit": "query/s", "config": config})
+            rows.append({"metric": "cache_hit_rate",
+                         "value": entry[backend]["store"]["cache_hit_rate"],
+                         "unit": "ratio", "config": config})
+            rows.append({"metric": "store_energy",
+                         "value": entry[backend]["store"]["energy_j"],
+                         "unit": "J", "config": config})
+        rows.append({"metric": "fabric_vs_array",
+                     "value": entry["fabric_vs_array"], "unit": "x",
+                     "config": {"workload": workload,
+                                "mode": report["mode"]}})
+    return rows
+
+
 def write_report(report, path=None):
     if path is None:
         path = os.path.join(os.path.dirname(__file__), "results",
@@ -194,6 +221,15 @@ def write_report(report, path=None):
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
     print(f"wrote {path}")
+    # The repo-root trajectory file only ever holds full-size numbers:
+    # a --tiny smoke must not clobber it.
+    if report["mode"] == "full":
+        root_path = os.path.normpath(
+            os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "..", "BENCH_store.json"))
+        with open(root_path, "w") as fh:
+            json.dump(_bench_rows(report), fh, indent=2)
+        print(f"wrote {root_path}")
 
 
 def test_store_api_smoke():

@@ -17,6 +17,11 @@ Layered public API:
   ``"analytical"`` / ``"spice"``) into one canonical
   :class:`~fecam.metrics.Fom`, memoized in a shared registry, with a
   columnar :func:`~fecam.metrics.sweep` for design-space grids.
+* :mod:`fecam.planes` — **the bitplane arena**: one
+  :class:`~fecam.planes.TernaryPlanes` storage object (value/care/valid
+  planes) under engine, fabric, and store, with write-generation-cached
+  derived planes (compressed step-1/step-2 planes, candidate index) and
+  zero-copy per-bank row-slice views of a fabric's contiguous arena.
 * :mod:`fecam.functional` — fast behavioral ternary-match engine annotated
   with circuit-tier energy/latency.
 * :mod:`fecam.fabric` — sharded multi-bank TCAM fabric: free-row bank
@@ -52,6 +57,7 @@ Scaling to a sharded, cached 16-bank fabric is a config edit::
 """
 
 from .designs import DesignKind
+from . import planes  # noqa: F401
 from . import spice  # noqa: F401
 from . import devices  # noqa: F401
 from . import cam  # noqa: F401
@@ -72,6 +78,6 @@ __version__ = "1.3.0"
 
 __all__ = ["DesignKind", "CamStore", "StoreConfig", "Query", "Match",
            "StoreStats", "TcamFabric", "DesignPoint", "Fom", "evaluate",
-           "sweep", "spice", "devices", "cam", "arch", "metrics",
+           "sweep", "planes", "spice", "devices", "cam", "arch", "metrics",
            "functional", "fabric", "store", "apps", "bench",
            "__version__"]

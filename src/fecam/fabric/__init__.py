@@ -11,7 +11,9 @@ query-result cache invalidated by per-bank write generations
 """
 
 from .bank import CamBank
-from .batch import normalize_queries, pack_queries, search_packed_batch
+from .batch import (BankBatchCounts, FusedBatchCounts, batch_count_matches,
+                    fused_count_matches, normalize_queries, pack_queries,
+                    search_packed_batch)
 from .cache import QueryCache
 from .fabric import (BankTelemetry, FabricEntry, FabricSearchResult,
                      FabricStats, TcamFabric)
@@ -24,4 +26,6 @@ __all__ = [
     "ShardPolicy", "HashSharding", "RangeSharding",
     "QueryCache",
     "normalize_queries", "pack_queries", "search_packed_batch",
+    "batch_count_matches", "fused_count_matches",
+    "BankBatchCounts", "FusedBatchCounts",
 ]

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 from ..designs import DesignKind
 from ..errors import OperationError
 from ..functional.engine import EnergyModel, TernaryCAM
+from ..planes import TernaryPlanes
 
 __all__ = ["CamBank"]
 
@@ -36,8 +37,12 @@ class CamBank:
     def __init__(self, bank_id: int, rows: int, width: int,
                  design: DesignKind = DesignKind.DG_1T5, *,
                  energy_model: Optional[EnergyModel] = None,
-                 cam: Optional[TernaryCAM] = None):
+                 cam: Optional[TernaryCAM] = None,
+                 planes: Optional[TernaryPlanes] = None):
         self.bank_id = bank_id
+        if cam is not None and planes is not None:
+            raise OperationError(
+                "pass either an adopted cam or a planes view, not both")
         if cam is not None:
             # Adopt an existing array: its already-valid rows stay out of
             # the free pool (legacy injection paths hand over pre-loaded
@@ -50,8 +55,10 @@ class CamBank:
             self._free: List[int] = [
                 row for row in range(rows) if not cam._valid[row]]
         else:
+            # ``planes`` injects a row-slice view of a fabric's
+            # contiguous arena; standalone banks own private storage.
             self.cam = TernaryCAM(rows=rows, width=width, design=design,
-                                  energy_model=energy_model)
+                                  energy_model=energy_model, planes=planes)
             # Min-heap of free rows: allocation is deterministic
             # lowest-first.
             self._free = list(range(rows))

@@ -1,26 +1,43 @@
-"""The fabric's performance core: vectorized multi-query search.
+"""The fabric's performance core: the fused cross-bank batch kernel.
 
 A looped ``TernaryCAM.search()`` pays Python-level cost per query
 (normalization, packing, small-array dispatch).  Here Q queries are
-packed once into a ``(Q, n_chunks)`` uint64 matrix and each bank's
-Q x M match decisions are evaluated in broadcasted NumPy expressions;
-only per-query bookkeeping stays in Python.
+packed once into a ``(Q, n_chunks)`` uint64 matrix and evaluated
+against a whole :class:`~fecam.planes.TernaryPlanes` arena — every bank
+of a fabric in one pass, with per-bank attribution recovered from the
+global row index — instead of one Python iteration per bank.
 
-The kernel mirrors the paper's two-step search in software:
+The kernel mirrors the paper's two-step search in software and leans on
+the arena's *cached derived planes* (:meth:`TernaryPlanes.derived`,
+invalidated by the write-generation counter, so a quiescent table never
+recompresses anything between batches):
 
-* **Step 1 (even positions)** runs for every query x row pair — but on
-  *bit-compressed* planes: the 32 even bits of each 64-bit chunk are
-  packed into a uint32 (a software ``pext``), halving memory traffic
-  for the quadratic phase.
+* **Step 1 (even positions)** uses the identity ``(q ^ v) & c == 0 <=>
+  q & c == v & c`` on bit-compressed planes: the 32 even bits of each
+  64-bit chunk packed into a uint32 (a software ``pext``).  Two
+  interchangeable evaluation strategies produce identical counts:
+
+  - ``"table"`` — the memoized 256-entry *candidate index*
+    (:meth:`TernaryPlanes.step1_index`) maps each query's low
+    compressed byte to the short list of rows consistent with it; the
+    kernel gathers only those candidates and finishes the comparison
+    exactly.  For typical care densities this touches a few percent of
+    the Q x M pairs and never materializes a dense decision matrix.
+  - ``"dense"`` — blockwise broadcasted compare over every (query,
+    row) pair; the fallback for masked searches (the global masking
+    register changes the planes per search, so nothing memoizes),
+    index-defeating content (wildcard-heavy low bytes), and tiny
+    batches that would not amortize an index build.
+
 * **Step 2 (odd positions)** is only evaluated for pairs that survive
   step 1 — typically a vanishing fraction, the same statistic behind
   the paper's 90 % step-1 miss rate and early-termination energy win.
 
-The step-1 test uses the identity ``(q ^ v) & c == 0  <=>  q & c ==
-v & c``: per-row ``v & c`` is precomputed, so the inner loop is one AND
-and one compare per pair.  All counts are integers and every energy or
-latency figure is derived through the same arithmetic as the scalar
-path, so batched results are bit-identical to a sequential loop.
+All counts are integers, per-bank counts segment the same boolean
+decisions the per-bank kernels produced, and every energy or latency
+figure is derived downstream through the same arithmetic as the scalar
+path — so fused batched results are bit-identical to a sequential loop
+of per-bank scalar searches (enforced by the equivalence suites).
 """
 
 from __future__ import annotations
@@ -33,9 +50,12 @@ import numpy as np
 from ..errors import TernaryValueError
 from ..cam.states import normalize_query
 from ..functional.engine import SearchStats, TernaryCAM, pack_words
+from ..planes import (DerivedPlanes, Step1Index, TernaryPlanes,
+                      build_step1_index, compress_even, masked_derived)
 
 __all__ = ["normalize_queries", "pack_queries", "search_packed_batch",
-           "batch_count_matches", "BankBatchCounts"]
+           "batch_count_matches", "fused_count_matches", "BankBatchCounts",
+           "FusedBatchCounts"]
 
 _ORD_0, _ORD_1 = ord("0"), ord("1")
 
@@ -43,18 +63,16 @@ _ORD_0, _ORD_1 = ord("0"), ord("1")
 #: matrices to a few MB so huge batches stay cache-friendly.
 DEFAULT_BLOCK = 512
 
-_EVEN_BITS = np.uint64(0x5555555555555555)
+#: Smallest batch for which an uncached step-1 candidate index is worth
+#: building; smaller batches reuse a cached index but never build one.
+TABLE_MIN_QUERIES = 32
 
+#: Dense-scratch / candidate-gather size bounds (elements / pairs).
+_DENSE_MAX_ELEMS = 8 << 20
+_SPARSE_MAX_PAIRS = 16 << 20
 
-def _compress_even(x: np.ndarray) -> np.ndarray:
-    """Software ``pext(x, 0x5555...)``: gather the 32 even bits of each
-    uint64 into a uint32 (classic masked-shift bit compaction)."""
-    x = x & _EVEN_BITS
-    for shift, mask in ((1, 0x3333333333333333), (2, 0x0F0F0F0F0F0F0F0F),
-                        (4, 0x00FF00FF00FF00FF), (8, 0x0000FFFF0000FFFF),
-                        (16, 0x00000000FFFFFFFF)):
-        x = (x | (x >> np.uint64(shift))) & np.uint64(mask)
-    return x.astype(np.uint32)
+# Back-compat alias (pre-planes callers imported the compactor from here).
+_compress_even = compress_even
 
 
 def normalize_queries(queries: Sequence[str], width: int) -> List[str]:
@@ -107,19 +125,48 @@ class BankBatchCounts:
     match_rows: List[int]
 
 
-def batch_count_matches(cam: TernaryCAM, q_values: np.ndarray,
-                        mask_bits: Optional[np.ndarray] = None, *,
-                        block: int = DEFAULT_BLOCK) -> BankBatchCounts:
-    """Two-step vectorized match kernel for one array.
+@dataclass
+class FusedBatchCounts:
+    """Per-(bank, query) match statistics of one arena-wide kernel pass.
 
-    Produces the exact integer counts a loop of ``search_packed`` calls
-    would: step-1 eliminations, step-2 misses, and full matches per
-    query, plus every matching row.  No energy accounting happens here —
-    callers (``search_packed_batch``, ``TcamFabric.search_batch``) feed
-    these counts through the same formulas as the scalar path.
+    ``match_rows`` holds *global arena* row indices (bank ``row //
+    rows_per_bank``, local row ``row % rows_per_bank``), grouped by
+    query with rows ascending — which, rows being contiguous per bank,
+    is exactly the bank-major order a loop of per-bank kernels emits.
+    """
+
+    rows_searched: np.ndarray     # (B,) int64 — valid rows per bank
+    step1_eliminated: np.ndarray  # (B, Q) int64
+    step2_misses: np.ndarray      # (B, Q) int64
+    full_matches: np.ndarray      # (B, Q) int64
+    match_q: List[int]
+    match_rows: List[int]
+    kernel: str                   # "table" | "dense" | "mixed" (telemetry)
+
+
+def fused_count_matches(planes: TernaryPlanes, q_values: np.ndarray,
+                        mask_bits: Optional[np.ndarray] = None, *,
+                        n_banks: int = 1,
+                        rows_per_bank: Optional[int] = None,
+                        block: int = DEFAULT_BLOCK,
+                        kernel: str = "auto",
+                        reuse_cache: bool = True) -> FusedBatchCounts:
+    """Two-step vectorized match kernel over a whole bitplane arena.
+
+    Produces the exact integer counts per (bank, query) that a loop of
+    per-bank ``search_packed`` calls would.  No energy accounting
+    happens here — callers feed these counts through the same formulas
+    as the scalar path.
+
+    ``kernel`` selects the step-1 strategy: ``"auto"`` (candidate index
+    when available/worthwhile, dense otherwise), ``"dense"``, or
+    ``"table"`` (force an index build; still falls back densely where
+    the index cannot exist).  ``reuse_cache=False`` recomputes every
+    derived plane from scratch — the cache-free reference used by the
+    coherence tests and the benchmark's pre-planes baseline.
     """
     q_values = np.asarray(q_values, dtype=np.uint64)
-    n_chunks = cam._n_chunks
+    n_chunks = planes.n_chunks
     if q_values.ndim != 2 or q_values.shape[1] != n_chunks:
         raise TernaryValueError(
             f"packed query matrix must have shape (Q, {n_chunks}), "
@@ -130,87 +177,247 @@ def batch_count_matches(cam: TernaryCAM, q_values: np.ndarray,
             raise TernaryValueError("mask chunk vector has wrong shape")
     if block < 1:
         raise TernaryValueError("block size must be positive")
+    if kernel not in ("auto", "dense", "table"):
+        raise TernaryValueError(
+            f"kernel must be 'auto', 'dense', or 'table', got {kernel!r}")
+    if rows_per_bank is None:
+        rows_per_bank = planes.rows // max(n_banks, 1)
+    if n_banks < 1 or n_banks * rows_per_bank != planes.rows:
+        raise TernaryValueError(
+            f"{n_banks} banks x {rows_per_bank} rows do not tile an arena "
+            f"of {planes.rows} rows")
     n_queries = q_values.shape[0]
 
-    # Compact to valid rows once: erased/never-written rows can neither
-    # match nor contribute to step counts (their care planes are zero
-    # and the scalar path filters them by the valid vector anyway).
-    valid_rows = np.nonzero(cam._valid)[0]
-    rows_searched = int(valid_rows.shape[0])
-    step1 = np.zeros(n_queries, dtype=np.int64)
-    step2 = np.zeros(n_queries, dtype=np.int64)
-    full = np.zeros(n_queries, dtype=np.int64)
+    # Derived planes: memoized on the arena's write generation for the
+    # unmasked path, ad hoc for masked searches and cache-free runs.
+    index: Optional[Step1Index] = None
+    if mask_bits is not None:
+        derived = masked_derived(planes, mask_bits)
+    elif reuse_cache:
+        derived = planes.derived()
+        if kernel != "dense":
+            index = planes.step1_index(
+                build=(kernel == "table" or n_queries >= TABLE_MIN_QUERIES))
+    else:
+        derived = planes.build_derived()
+        if kernel == "table":
+            index = build_step1_index(derived)
+    if kernel == "dense":
+        index = None
+
+    n_rows = derived.rows_searched
+    step1 = np.zeros((n_banks, n_queries), dtype=np.int64)
+    step2 = np.zeros((n_banks, n_queries), dtype=np.int64)
+    full = np.zeros((n_banks, n_queries), dtype=np.int64)
     match_q: List[int] = []
     match_rows: List[int] = []
-    if rows_searched == 0 or n_queries == 0:
-        return BankBatchCounts(rows_searched, step1, step2, full,
-                               match_q, match_rows)
+    if n_banks == 1:
+        seg_counts = np.array([n_rows], dtype=np.int64)
+        bank_of = None
+    else:
+        bank_of = derived.valid_rows // rows_per_bank
+        seg_counts = np.bincount(bank_of, minlength=n_banks)
+    if n_rows == 0 or n_queries == 0:
+        return FusedBatchCounts(seg_counts, step1, step2, full,
+                                match_q, match_rows, kernel="dense")
 
-    value = cam._value[valid_rows]
-    care = cam._care[valid_rows]
-    care_even = care & cam._even_mask
-    care_odd = care & cam._odd_mask
-    if mask_bits is not None:
-        care_even = care_even & mask_bits
-        care_odd = care_odd & mask_bits
-    # Compressed step-1 planes: q & ce == v & ce  <=>  step-1 survival.
-    # Stored chunk-major ((C, M) / (C, Q), contiguous per chunk) so the
-    # block loop below streams 2-D slices.
-    ce32 = np.ascontiguousarray(_compress_even(care_even).T)   # (C, M)
-    ve32 = np.ascontiguousarray(_compress_even(value & care_even).T)
-    co32 = _compress_even(care_odd >> np.uint64(1))            # (M, C)
-    vo32 = _compress_even((value & care_odd) >> np.uint64(1))
-    qe32 = np.ascontiguousarray(_compress_even(q_values).T)    # (C, Q)
-    qo32 = _compress_even(q_values >> np.uint64(1))            # (Q, C)
+    # Queries compressed once, in both orientations the paths need.
+    qe = compress_even(q_values)                        # (Q, C) row-major
+    qo = compress_even(q_values >> np.uint64(1))
+    qe_cm = np.ascontiguousarray(qe.T)                  # (C, Q) chunk-major
+    q8 = ((qe[:, 0] & np.uint32(0xFF)).astype(np.uint8)
+          if index is not None else None)
 
-    single = n_chunks == 1
-    # Scratch is fixed 2-D (block, rows) regardless of word width: the
-    # step-1 miss plane accumulates chunk by chunk instead of
-    # materializing a (block, rows, chunks) broadcast tensor.
-    n_block = min(block, n_queries)
-    and_buf = np.empty((n_block, rows_searched), dtype=np.uint32)
-    miss_buf = np.empty((n_block, rows_searched), dtype=bool)
-    chunk_buf = (np.empty((n_block, rows_searched), dtype=bool)
-                 if n_chunks > 1 else None)
+    state = _KernelState(derived=derived, index=index, n_banks=n_banks,
+                         bank_of=bank_of, seg_counts=seg_counts,
+                         qe=qe, qo=qo, qe_cm=qe_cm, q8=q8,
+                         step1=step1, step2=step2, full=full,
+                         match_q=match_q, match_rows=match_rows)
 
-    for start in range(0, n_queries, block):
-        stop = min(start + block, n_queries)
-        n_q = stop - start
-        abuf = and_buf[:n_q]
-        mbuf = miss_buf[:n_q]
-        for c in range(n_chunks):
-            np.bitwise_and(qe32[c, start:stop, None], ce32[c][None, :],
-                           out=abuf)
-            if c == 0:
-                np.not_equal(abuf, ve32[c][None, :], out=mbuf)
-            else:
-                cbuf = chunk_buf[:n_q]
-                np.not_equal(abuf, ve32[c][None, :], out=cbuf)
-                np.logical_or(mbuf, cbuf, out=mbuf)
-        miss1_counts = np.count_nonzero(mbuf, axis=1)
-        step1[start:stop] = miss1_counts
-        # Step 2, only for step-1 survivors (the early-termination win):
-        # scan just the queries that still have live rows.
-        live_q = np.nonzero(miss1_counts < rows_searched)[0]
-        if live_q.size == 0:
-            continue  # every row eliminated in step 1 for every query
-        local_q, row_idx = np.nonzero(~mbuf[live_q])
-        q_idx = live_q[local_q]
-        if single:
-            miss2 = (qo32[start:stop, 0][q_idx] & co32[row_idx, 0]) \
-                != vo32[row_idx, 0]
+    n_block = max(1, min(block, _DENSE_MAX_ELEMS // max(n_rows, 1)))
+    used = set()
+    dense = _DenseScratch()
+    for start in range(0, n_queries, n_block):
+        stop = min(start + n_block, n_queries)
+        if index is not None:
+            xi = q8[start:stop].astype(np.intp)
+            pair_counts = index.indptr[xi + 1] - index.indptr[xi]
+            if int(pair_counts.sum()) <= _SPARSE_MAX_PAIRS:
+                _sparse_block(state, start, stop, xi, pair_counts)
+                used.add("table")
+                continue
+        _dense_block(state, start, stop, dense)
+        used.add("dense")
+    label = used.pop() if len(used) == 1 else "mixed"
+    return FusedBatchCounts(seg_counts, step1, step2, full,
+                            match_q, match_rows, kernel=label)
+
+
+@dataclass
+class _KernelState:
+    """Shared inputs/outputs threaded through the per-block passes."""
+
+    derived: DerivedPlanes
+    index: Optional[Step1Index]
+    n_banks: int
+    bank_of: Optional[np.ndarray]   # (M,) bank of each valid row (B > 1)
+    seg_counts: np.ndarray          # (B,) valid rows per bank
+    qe: np.ndarray                  # (Q, C) compressed even query bits
+    qo: np.ndarray                  # (Q, C) compressed odd query bits
+    qe_cm: np.ndarray               # (C, Q) chunk-major
+    q8: Optional[np.ndarray]        # (Q,) low even byte per query
+    step1: np.ndarray               # (B, Q) outputs
+    step2: np.ndarray
+    full: np.ndarray
+    match_q: List[int]
+    match_rows: List[int]
+
+
+class _DenseScratch:
+    """Lazily-allocated (block, rows) buffers reused across blocks."""
+
+    def __init__(self) -> None:
+        self.and_buf = self.miss_buf = self.chunk_buf = None
+
+    def get(self, n_q: int, n_rows: int, n_chunks: int):
+        if self.and_buf is None or self.and_buf.shape[0] < n_q:
+            self.and_buf = np.empty((n_q, n_rows), dtype=np.uint32)
+            self.miss_buf = np.empty((n_q, n_rows), dtype=bool)
+            self.chunk_buf = (np.empty((n_q, n_rows), dtype=bool)
+                              if n_chunks > 1 else None)
+        return (self.and_buf[:n_q], self.miss_buf[:n_q],
+                None if self.chunk_buf is None else self.chunk_buf[:n_q])
+
+
+def _pair_bincount(state: _KernelState, q_idx: np.ndarray,
+                   col_idx: np.ndarray, n_q: int) -> np.ndarray:
+    """Histogram survivor pairs into (B, n_q) per-bank counts."""
+    if state.n_banks == 1:
+        return np.bincount(q_idx, minlength=n_q)[None, :]
+    comb = q_idx * state.n_banks + state.bank_of[col_idx]
+    return np.bincount(comb, minlength=n_q * state.n_banks) \
+        .reshape(n_q, state.n_banks).T
+
+
+def _finish_step2(state: _KernelState, start: int, stop: int,
+                  q_idx: np.ndarray, col_idx: np.ndarray) -> None:
+    """Step 2 (odd positions) for step-1 survivor pairs + bookkeeping.
+
+    Shared by both step-1 strategies: identical pair streams in, so
+    identical counts and identically-ordered matches out.
+    """
+    d = state.derived
+    n_q = stop - start
+    qo_block = state.qo[start:stop]
+    if d.co32.shape[1] == 1:
+        miss2 = (qo_block[q_idx, 0] & d.co32[col_idx, 0]) \
+            != d.vo32[col_idx, 0]
+    else:
+        miss2 = ((qo_block[q_idx] & d.co32[col_idx])
+                 != d.vo32[col_idx]).any(axis=1)
+    state.step2[:, start:stop] = _pair_bincount(
+        state, q_idx[miss2], col_idx[miss2], n_q)
+    hit = ~miss2
+    q_hit, col_hit = q_idx[hit], col_idx[hit]
+    state.full[:, start:stop] = _pair_bincount(state, q_hit, col_hit, n_q)
+    # Pairs stay grouped by query with global rows ascending —
+    # bank-major priority-encoder order within each query.
+    state.match_q.extend((q_hit + start).tolist())
+    state.match_rows.extend(d.valid_rows[col_hit].tolist())
+
+
+def _sparse_block(state: _KernelState, start: int, stop: int,
+                  xi: np.ndarray, pair_counts: np.ndarray) -> None:
+    """Step 1 via the candidate index: gather + exact check, no dense
+    (query x row) matrix ever materializes."""
+    d = state.derived
+    index = state.index
+    n_q = stop - start
+    total = int(pair_counts.sum())
+    if total == 0:
+        state.step1[:, start:stop] = state.seg_counts[:, None]
+        return
+    # Expand the ragged candidate lists into flat positions into the
+    # index: pos[k] walks each query's contiguous candidate slice.
+    ends = np.cumsum(pair_counts)
+    pos = np.arange(total, dtype=np.int64) + np.repeat(
+        index.indptr[xi] - (ends - pair_counts), pair_counts)
+    # Chunk-0 exact step-1 decision on the candidates only, against the
+    # pre-gathered index-order planes (near-sequential reads).
+    qe_pairs = np.repeat(state.qe[start:stop, 0], pair_counts)
+    ok = (qe_pairs & index.ce0_at[pos]) == index.ve0_at[pos]
+    q_idx = np.repeat(np.arange(n_q), pair_counts)[ok]
+    col_idx = index.indices[pos[ok]]
+    if d.ce32.shape[1] > 1:  # finish the remaining chunks (rare pairs)
+        ok = ((state.qe[start:stop][q_idx, 1:] & d.ce32[col_idx, 1:])
+              == d.ve32[col_idx, 1:]).all(axis=1)
+        q_idx, col_idx = q_idx[ok], col_idx[ok]
+    survivors = _pair_bincount(state, q_idx, col_idx, n_q)
+    state.step1[:, start:stop] = state.seg_counts[:, None] - survivors
+    _finish_step2(state, start, stop, q_idx, col_idx)
+
+
+def _dense_block(state: _KernelState, start: int, stop: int,
+                 scratch: _DenseScratch) -> None:
+    """Step 1 via blockwise broadcasted compare over every pair."""
+    d = state.derived
+    n_q = stop - start
+    n_rows = d.rows_searched
+    n_chunks = d.ce32_cm.shape[0]
+    abuf, mbuf, cbuf = scratch.get(n_q, n_rows, n_chunks)
+    for c in range(n_chunks):
+        np.bitwise_and(state.qe_cm[c, start:stop, None],
+                       d.ce32_cm[c][None, :], out=abuf)
+        if c == 0:
+            np.not_equal(abuf, d.ve32_cm[c][None, :], out=mbuf)
         else:
-            miss2 = ((qo32[start:stop][q_idx] & co32[row_idx])
-                     != vo32[row_idx]).any(axis=1)
-        step2[start:stop] = np.bincount(q_idx[miss2], minlength=n_q)
-        hit = ~miss2
-        full[start:stop] = np.bincount(q_idx[hit], minlength=n_q)
-        # nonzero is row-major: hits stay grouped by query, rows
-        # ascending — priority-encoder order within the bank.
-        match_q.extend((q_idx[hit] + start).tolist())
-        match_rows.extend(valid_rows[row_idx[hit]].tolist())
-    return BankBatchCounts(rows_searched, step1, step2, full,
-                           match_q, match_rows)
+            np.not_equal(abuf, d.ve32_cm[c][None, :], out=cbuf)
+            np.logical_or(mbuf, cbuf, out=mbuf)
+    if state.n_banks == 1:
+        miss_counts = np.count_nonzero(mbuf, axis=1)
+        state.step1[0, start:stop] = miss_counts
+    else:
+        # Valid rows ascend, so each bank's rows form one contiguous
+        # column segment: segment-sum the misses per (query, bank).
+        nonempty = np.flatnonzero(state.seg_counts)
+        seg_starts = np.searchsorted(state.bank_of, nonempty)
+        per_seg = np.add.reduceat(mbuf.view(np.int8), seg_starts,
+                                  axis=1, dtype=np.int64)
+        state.step1[nonempty[:, None], np.arange(start, stop)[None, :]] = \
+            per_seg.T
+        miss_counts = per_seg.sum(axis=1)
+    # Step 2 only for queries with step-1 survivors (the early-
+    # termination win): scan just the rows that stayed live.
+    live_q = np.nonzero(miss_counts < n_rows)[0]
+    if live_q.size == 0:
+        return
+    local_q, col_idx = np.nonzero(~mbuf[live_q])
+    _finish_step2(state, start, stop, live_q[local_q], col_idx)
+
+
+def batch_count_matches(cam: TernaryCAM, q_values: np.ndarray,
+                        mask_bits: Optional[np.ndarray] = None, *,
+                        block: int = DEFAULT_BLOCK,
+                        kernel: str = "auto",
+                        reuse_cache: bool = True) -> BankBatchCounts:
+    """Two-step vectorized match kernel for one array.
+
+    Produces the exact integer counts a loop of ``search_packed`` calls
+    would: step-1 eliminations, step-2 misses, and full matches per
+    query, plus every matching row.  No energy accounting happens here —
+    callers (``search_packed_batch``, ``TcamFabric.search_batch``) feed
+    these counts through the same formulas as the scalar path.
+
+    This is the one-bank specialization of :func:`fused_count_matches`;
+    ``kernel``/``reuse_cache`` forward to it.
+    """
+    fused = fused_count_matches(cam.planes, q_values, mask_bits,
+                                n_banks=1, block=block, kernel=kernel,
+                                reuse_cache=reuse_cache)
+    return BankBatchCounts(int(fused.rows_searched[0]),
+                           fused.step1_eliminated[0],
+                           fused.step2_misses[0], fused.full_matches[0],
+                           fused.match_q, fused.match_rows)
 
 
 def search_packed_batch(cam: TernaryCAM, q_values: np.ndarray,

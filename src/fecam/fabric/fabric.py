@@ -27,8 +27,9 @@ from ..designs import DesignKind
 from ..errors import OperationError, TernaryValueError
 from ..cam.states import normalize_query, normalize_word
 from ..functional.engine import EnergyModel, SearchStats, pack_words
+from ..planes import TernaryPlanes
 from .bank import CamBank
-from .batch import batch_count_matches, normalize_queries, pack_queries
+from .batch import fused_count_matches, normalize_queries, pack_queries
 from .cache import QueryCache, serve_cached_batch
 from .shard import HashSharding, ShardPolicy
 
@@ -141,8 +142,16 @@ class TcamFabric:
         # One shared energy model: the circuit tier is evaluated once for
         # the whole fabric, and every bank prices operations identically.
         model = energy_model or EnergyModel(design, width)
+        # One contiguous bitplane arena for the whole fabric — banks are
+        # zero-copy row-slice views (bank b owns arena rows
+        # [b * rows_per_bank, (b + 1) * rows_per_bank)), so the fused
+        # batch kernel evaluates every bank in a single pass and the
+        # arena's derived-plane cache survives until *any* bank writes.
+        self.arena = TernaryPlanes(banks * rows_per_bank, width)
         self.banks: List[CamBank] = [
-            CamBank(i, rows_per_bank, width, design, energy_model=model)
+            CamBank(i, rows_per_bank, width, design, energy_model=model,
+                    planes=self.arena.view(i * rows_per_bank,
+                                           (i + 1) * rows_per_bank))
             for i in range(banks)]
         self.sharding = sharding or HashSharding(banks)
         if self.sharding.num_banks != banks:
@@ -215,6 +224,16 @@ class TcamFabric:
     def entries(self) -> List[FabricEntry]:
         """All entries in global priority order."""
         return sorted(self._entries.values(), key=lambda e: e.sort_key)
+
+    def stored_words(self) -> List[Optional[str]]:
+        """Snapshot of every arena row's stored word (None where free).
+
+        One bulk vectorized unpack over the contiguous arena — bank
+        ``b``'s row ``r`` sits at index ``b * rows_per_bank + r`` — the
+        reader to use for table dumps/replication instead of a per-row
+        ``stored_word`` loop over every bank.
+        """
+        return self.arena.stored_words()
 
     # -- write lifecycle ---------------------------------------------------------
 
@@ -452,48 +471,58 @@ class TcamFabric:
 
     def _search_batch_arrays(self, queries: List[str],
                              mask_bits) -> List[FabricSearchResult]:
-        """Fused batch core: per-bank count kernels + vectorized merge.
+        """Fused batch core: one arena-wide kernel + vectorized merge.
 
-        Reproduces exactly the arithmetic of ``_combine`` over a loop of
-        per-bank scalar searches — per-query energies are elementwise
-        sums in bank order, latencies elementwise maxima, and every cam
-        counter accumulates per query in sequence — without building a
-        :class:`SearchStats` per (query, bank) pair.
+        A single :func:`fused_count_matches` pass over the contiguous
+        arena replaces the per-bank Python loop of count kernels; the
+        per-bank accounting below reproduces exactly the arithmetic of
+        ``_combine`` over a loop of per-bank scalar searches — per-query
+        energies are elementwise sums in bank order, latencies
+        elementwise maxima, and every cam counter accumulates per query
+        in sequence — without building a :class:`SearchStats` per
+        (query, bank) pair.
         """
         n_q = len(queries)
         q_matrix = pack_queries(queries, self.width)
+        counts = fused_count_matches(self.arena, q_matrix, mask_bits,
+                                     n_banks=self.num_banks,
+                                     rows_per_bank=self.rows_per_bank)
         energy = np.zeros(n_q, dtype=np.float64)
         latency = np.zeros(n_q, dtype=np.float64)
-        matched: List[List[FabricEntry]] = [[] for _ in range(n_q)]
         for bank in self.banks:
             cam = bank.cam
-            counts = batch_count_matches(cam, q_matrix, mask_bits)
+            bank_id = bank.bank_id
+            rows_searched = int(counts.rows_searched[bank_id])
+            step1_eliminated = counts.step1_eliminated[bank_id]
             e1, e2, lat1, lat2, two_step, early = cam._search_constants()
-            resolved = counts.step2_misses + counts.full_matches
+            resolved = (counts.step2_misses[bank_id]
+                        + counts.full_matches[bank_id])
             if two_step:
                 if early:
-                    bank_energy = (counts.step1_eliminated * e1
-                                   + resolved * e2)
+                    bank_energy = step1_eliminated * e1 + resolved * e2
                 else:
-                    bank_energy = np.full(n_q, counts.rows_searched * e2)
+                    bank_energy = np.full(n_q, rows_searched * e2)
                 bank_latency = np.where(resolved > 0, lat2, lat1)
             else:
-                bank_energy = np.full(n_q, counts.rows_searched * e2)
+                bank_energy = np.full(n_q, rows_searched * e2)
                 bank_latency = np.full(n_q, lat2)
             energy = energy + bank_energy          # bank order == loop order
             np.maximum(latency, bank_latency, out=latency)
             cam.search_count += n_q
             for e in bank_energy.tolist():         # sequential like the loop
                 cam.energy_spent += e
-            bank_id = bank.bank_id
-            self._step1_eliminated[bank_id] += int(
-                counts.step1_eliminated.sum())
-            self._rows_examined[bank_id] += counts.rows_searched * n_q
-            row_entry = self._row_entry[bank_id]
-            for qi, row in zip(counts.match_q, counts.match_rows):
-                entry = row_entry[row]
-                if entry is not None:
-                    matched[qi].append(entry)
+            self._step1_eliminated[bank_id] += int(step1_eliminated.sum())
+            self._rows_examined[bank_id] += rows_searched * n_q
+        # Matches come back grouped by query with global arena rows
+        # ascending — bank attribution is a divmod by the bank span.
+        matched: List[List[FabricEntry]] = [[] for _ in range(n_q)]
+        rows_per_bank = self.rows_per_bank
+        row_entry = self._row_entry
+        for qi, arena_row in zip(counts.match_q, counts.match_rows):
+            bank_id, row = divmod(arena_row, rows_per_bank)
+            entry = row_entry[bank_id][row]
+            if entry is not None:
+                matched[qi].append(entry)
         energy_list = energy.tolist()
         latency_list = latency.tolist()
         results: List[FabricSearchResult] = []

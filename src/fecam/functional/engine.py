@@ -24,20 +24,14 @@ from ..errors import OperationError, TernaryValueError
 from ..cam.states import normalize_query, normalize_word
 from ..cam.ops import SearchPolicy
 from ..metrics.point import FIDELITIES
+from ..planes import CHUNK_BITS, TernaryPlanes, n_chunks_for, step_masks
 
 __all__ = ["TernaryCAM", "SearchStats", "EnergyModel", "pack_word",
            "pack_words", "CHUNK_BITS", "n_chunks_for"]
 
-_CHUNK = 64
-#: Bits per packed storage chunk (public alias of the internal constant).
-CHUNK_BITS = _CHUNK
+_CHUNK = CHUNK_BITS
 
 _ORD_0, _ORD_1, _ORD_X = ord("0"), ord("1"), ord("X")
-
-
-def n_chunks_for(width: int) -> int:
-    """Number of 64-bit chunks needed to hold ``width`` ternary cells."""
-    return (width + _CHUNK - 1) // _CHUNK
 
 
 def _pack_bitplane(bits: np.ndarray, width: int) -> np.ndarray:
@@ -192,7 +186,8 @@ class TernaryCAM:
     def __init__(self, rows: int, width: int,
                  design: DesignKind = DesignKind.DG_1T5, *,
                  policy: SearchPolicy = SearchPolicy(),
-                 energy_model: Optional[EnergyModel] = None):
+                 energy_model: Optional[EnergyModel] = None,
+                 planes: Optional[TernaryPlanes] = None):
         if rows < 1 or width < 1:
             raise OperationError("rows and width must be positive")
         self.rows = rows
@@ -200,15 +195,20 @@ class TernaryCAM:
         self.design = design
         self.policy = policy
         self._energy = energy_model or EnergyModel(design, width)
-        n_chunks = n_chunks_for(width)
-        self._n_chunks = n_chunks
-        self._value = np.zeros((rows, n_chunks), dtype=np.uint64)
-        self._care = np.zeros((rows, n_chunks), dtype=np.uint64)
-        self._valid = np.zeros(rows, dtype=bool)
+        self._n_chunks = n_chunks_for(width)
+        # Storage (and its memoized derived planes) lives in a
+        # TernaryPlanes instance: private by default, or an injected
+        # row-slice view of a fabric's contiguous multi-bank arena.
+        if planes is None:
+            planes = TernaryPlanes(rows, width)
+        elif planes.rows != rows or planes.width != width:
+            raise OperationError(
+                f"planes are {planes.rows}x{planes.width}, array wants "
+                f"{rows}x{width}")
+        self._planes = planes
         # Masks for even (cell1/step-1) and odd (cell2/step-2) positions.
-        even, odd = self._step_masks(width, n_chunks)
-        self._even_mask = even
-        self._odd_mask = odd
+        self._even_mask = planes.even_mask
+        self._odd_mask = planes.odd_mask
         self.search_count = 0
         self.write_count = 0
         self.energy_spent = 0.0
@@ -216,15 +216,29 @@ class TernaryCAM:
 
     @staticmethod
     def _step_masks(width: int, n_chunks: int):
-        even = np.zeros(n_chunks, dtype=np.uint64)
-        odd = np.zeros(n_chunks, dtype=np.uint64)
-        for pos in range(width):
-            chunk, bit = divmod(pos, _CHUNK)
-            if pos % 2 == 0:
-                even[chunk] |= np.uint64(1 << bit)
-            else:
-                odd[chunk] |= np.uint64(1 << bit)
+        even, odd = step_masks(width)
+        if even.shape != (n_chunks,):  # pragma: no cover - caller bug
+            raise OperationError(
+                f"width {width} needs {even.shape[0]} chunks, not {n_chunks}")
         return even, odd
+
+    @property
+    def planes(self) -> TernaryPlanes:
+        """The bitplane storage (shared with the fabric arena when this
+        array is a bank of one)."""
+        return self._planes
+
+    @property
+    def _value(self) -> np.ndarray:
+        return self._planes.value
+
+    @property
+    def _care(self) -> np.ndarray:
+        return self._planes.care
+
+    @property
+    def _valid(self) -> np.ndarray:
+        return self._planes.valid
 
     def _pack(self, word: str):
         return pack_word(word, len(word))
@@ -239,8 +253,8 @@ class TernaryCAM:
                 f"word length {len(word)} != array width {self.width}")
         if not 0 <= row < self.rows:
             raise OperationError(f"row {row} out of range")
-        self._value[row], self._care[row] = self._pack(word)
-        self._valid[row] = True
+        value, care = self._pack(word)
+        self._planes.set_row(row, value, care)
         self.write_count += 1
         model = self._resolved_energy()
         self.energy_spent += (model.write_energy_per_cell or 0.0) * self.width
@@ -278,9 +292,7 @@ class TernaryCAM:
                 # sequences (what write() accepts): normalizing path.
                 value, care = pack_words([normalize_word(w) for w in words],
                                          self.width)
-        self._value[row_arr] = value
-        self._care[row_arr] = care
-        self._valid[row_arr] = True
+        self._planes.set_rows(row_arr, value, care)
         self.write_count += len(rows)
         model = self._resolved_energy()
         per_write = (model.write_energy_per_cell or 0.0) * self.width
@@ -296,26 +308,20 @@ class TernaryCAM:
         """
         if not 0 <= row < self.rows:
             raise OperationError(f"row {row} out of range")
-        self._valid[row] = False
-        self._value[row] = 0
-        self._care[row] = 0
+        self._planes.clear_row(row)
 
     def stored_word(self, row: int) -> Optional[str]:
         if not self._valid[row]:
             assert not self._value[row].any() and not self._care[row].any(), \
                 f"invalid row {row} retains stale stored bits"
             return None
-        symbols = []
-        for pos in range(self.width):
-            chunk, bit = divmod(pos, _CHUNK)
-            mask = np.uint64(1 << bit)
-            if not self._care[row, chunk] & mask:
-                symbols.append("X")
-            elif self._value[row, chunk] & mask:
-                symbols.append("1")
-            else:
-                symbols.append("0")
-        return "".join(symbols)
+        return self._planes.stored_word(row)
+
+    def stored_words(self) -> List[Optional[str]]:
+        """Every row's stored word (None where invalid) in one bulk
+        vectorized unpack — the snapshot reader fabric/store tiers use
+        instead of a per-row, per-bit readback loop."""
+        return self._planes.stored_words()
 
     @property
     def occupancy(self) -> int:

@@ -40,9 +40,9 @@ class ArrayBackend(SearchBackend):
         self._entries: Dict[Hashable, Match] = {}
         self._row_entry: List[Optional[Match]] = [None] * config.rows
         if cam is not None:
-            # Adopted pre-loaded rows become entries keyed by row index.
-            for row in range(config.rows):
-                word = cam.stored_word(row)
+            # Adopted pre-loaded rows become entries keyed by row index
+            # (one bulk stored_words() unpack, not a per-row readback).
+            for row, word in enumerate(cam.stored_words()):
                 if word is None:
                     continue
                 match = Match(key=row, word=word, priority=float(row),

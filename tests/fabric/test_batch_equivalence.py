@@ -11,8 +11,9 @@ from hypothesis import strategies as st
 
 from fecam.designs import DesignKind
 from fecam.fabric import TcamFabric
-from fecam.fabric.batch import (batch_count_matches, normalize_queries,
-                                pack_queries, search_packed_batch)
+from fecam.fabric.batch import (batch_count_matches, fused_count_matches,
+                                normalize_queries, pack_queries,
+                                search_packed_batch)
 from fecam.functional import EnergyModel, TernaryCAM, pack_words
 
 
@@ -148,6 +149,85 @@ def test_fabric_priority_order_across_shards(data):
         expected = {i for i in range(n)
                     if ternary_match(fabric.entry(i).word, query)}
         assert {e.key for e in result.matches} == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_fused_arena_kernel_equals_per_bank_kernels(data):
+    """The tentpole property: one fused pass over the fabric's arena
+    produces exactly the per-(bank, query) counts and (bank-attributed)
+    matches that a Python loop of per-bank kernels produces — for every
+    step-1 strategy, with and without a masking register."""
+    width = data.draw(st.sampled_from([6, 8, 64, 70]), label="width")
+    banks = data.draw(st.integers(1, 4), label="banks")
+    rows = data.draw(st.integers(1, 12), label="rows_per_bank")
+    rng = random.Random(data.draw(st.integers(0, 2**31), label="seed"))
+    n_words = rng.randrange(0, banks * rows + 1)
+    words = ["".join(rng.choice("01XXX") for _ in range(width))
+             for _ in range(n_words)]
+    free = {b: rows for b in range(banks)}
+    bank_map = []
+    for _ in range(n_words):
+        bank = rng.choice([b for b, n_free in free.items() if n_free > 0])
+        free[bank] -= 1
+        bank_map.append(bank)
+    fabric = TcamFabric(banks=banks, rows_per_bank=rows, width=width,
+                        energy_model=fast_model(width))
+    if words:
+        fabric.insert_many(words, keys=list(range(n_words)),
+                           banks=bank_map)
+    queries = ["".join(rng.choice("01") for _ in range(width))
+               for _ in range(rng.randrange(1, 30))]
+    q_matrix = pack_queries(queries, width)
+    mask_bits = None
+    if data.draw(st.booleans(), label="masked"):
+        mask = "".join(rng.choice("01") for _ in range(width))
+        mask_bits = fabric.banks[0].cam.pack_mask(mask)
+
+    per_bank = [batch_count_matches(bank.cam, q_matrix, mask_bits,
+                                    kernel="dense", reuse_cache=False)
+                for bank in fabric.banks]
+    for kernel in ("auto", "dense", "table"):
+        fused = fused_count_matches(fabric.arena, q_matrix, mask_bits,
+                                    n_banks=banks, rows_per_bank=rows,
+                                    kernel=kernel)
+        for b, counts in enumerate(per_bank):
+            assert int(fused.rows_searched[b]) == counts.rows_searched
+            assert (fused.step1_eliminated[b]
+                    == counts.step1_eliminated).all()
+            assert (fused.step2_misses[b] == counts.step2_misses).all()
+            assert (fused.full_matches[b] == counts.full_matches).all()
+        loop_pairs = sorted((q, b * rows + r) for b, counts in
+                            enumerate(per_bank)
+                            for q, r in zip(counts.match_q,
+                                            counts.match_rows))
+        fused_pairs = list(zip(fused.match_q, fused.match_rows))
+        assert fused_pairs == sorted(fused_pairs)  # query-grouped, rows
+        assert sorted(fused_pairs) == loop_pairs   # ascending, complete
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_table_and_dense_kernels_are_bit_identical(data):
+    """The candidate-index strategy is an optimization, never a
+    semantic: identical counts and identically-ordered matches."""
+    width = data.draw(st.sampled_from([8, 64, 100]), label="width")
+    rows = data.draw(st.integers(1, 24), label="rows")
+    rng = random.Random(data.draw(st.integers(0, 2**31), label="seed"))
+    cam = TernaryCAM(rows=rows, width=width,
+                     energy_model=fast_model(width))
+    for row in range(rng.randrange(0, rows + 1)):
+        cam.write(row, "".join(rng.choice("01XX") for _ in range(width)))
+    queries = ["".join(rng.choice("01") for _ in range(width))
+               for _ in range(rng.randrange(1, 30))]
+    packed = pack_queries(queries, width)
+    table = batch_count_matches(cam, packed, kernel="table")
+    dense = batch_count_matches(cam, packed, kernel="dense")
+    assert (table.step1_eliminated == dense.step1_eliminated).all()
+    assert (table.step2_misses == dense.step2_misses).all()
+    assert (table.full_matches == dense.full_matches).all()
+    assert table.match_q == dense.match_q
+    assert table.match_rows == dense.match_rows
 
 
 class TestBatchHelpers:
