@@ -34,9 +34,17 @@ Layered public API:
   model (:class:`~fecam.store.Query` / :class:`~fecam.store.Match` /
   :class:`~fecam.store.StoreStats`) over pluggable backends — a single
   array or the sharded fabric — so scaling is a config edit.
+* :mod:`fecam.service` — **the concurrent serving tier**: a
+  :class:`~fecam.service.SearchService` micro-batches concurrent
+  requests into fused batch searches over a store, with snapshot
+  isolation (reader-writer locking, write-generation-tagged results),
+  bounded-queue backpressure, sync and ``asyncio`` front doors, and
+  :class:`~fecam.service.ServiceStats` telemetry.
 * :mod:`fecam.apps` — application substrates (router LPM, associative
   cache, packet classifier, genomics seed matching, Hamming /
-  one-shot matching), all served by :class:`~fecam.store.CamStore`.
+  one-shot matching), all served by :class:`~fecam.store.CamStore`;
+  the router and classifier can serve concurrent traffic via
+  ``serve()``.
 * :mod:`fecam.bench` — experiment harness regenerating every paper
   table/figure.
 
@@ -66,6 +74,7 @@ from . import metrics  # noqa: F401
 from . import functional  # noqa: F401
 from . import fabric  # noqa: F401
 from . import store  # noqa: F401
+from . import service  # noqa: F401
 from . import apps  # noqa: F401
 from . import bench  # noqa: F401
 from .fabric import TcamFabric  # noqa: F401  (system tier, raw fabric)
@@ -73,11 +82,14 @@ from .metrics import (DesignPoint, Fom, evaluate,  # noqa: F401
                       sweep)
 from .store import (CamStore, Match, Query, StoreConfig,  # noqa: F401
                     StoreStats)
+from .service import (SearchService, ServedResult,  # noqa: F401
+                      ServiceStats)
 
 __version__ = "1.3.0"
 
 __all__ = ["DesignKind", "CamStore", "StoreConfig", "Query", "Match",
            "StoreStats", "TcamFabric", "DesignPoint", "Fom", "evaluate",
-           "sweep", "planes", "spice", "devices", "cam", "arch", "metrics",
-           "functional", "fabric", "store", "apps", "bench",
+           "sweep", "SearchService", "ServedResult", "ServiceStats",
+           "planes", "spice", "devices", "cam", "arch", "metrics",
+           "functional", "fabric", "store", "service", "apps", "bench",
            "__version__"]

@@ -13,15 +13,19 @@ builds without ever invoking the SPICE tier.
 """
 
 from .cache import AccessResult, TcamCache
-from .classifier import Packet, Rule, TcamClassifier, range_to_prefixes
+from .classifier import (Packet, Rule, ServedClassifier, TcamClassifier,
+                         range_to_prefixes)
 from .genomics import SeedIndex, encode_base, encode_seed, vote_alignment
 from .hamming import HammingSearcher, OneShotClassifier, hamming_distance
-from .router import Route, TcamRouter, int_to_ip, ip_to_int, parse_cidr
+from .router import (Route, ServedRouter, TcamRouter, int_to_ip,
+                     ip_to_int, parse_cidr)
 
 __all__ = [
-    "TcamRouter", "Route", "parse_cidr", "ip_to_int", "int_to_ip",
+    "TcamRouter", "ServedRouter", "Route", "parse_cidr", "ip_to_int",
+    "int_to_ip",
     "TcamCache", "AccessResult",
-    "TcamClassifier", "Rule", "Packet", "range_to_prefixes",
+    "TcamClassifier", "ServedClassifier", "Rule", "Packet",
+    "range_to_prefixes",
     "SeedIndex", "encode_seed", "encode_base", "vote_alignment",
     "HammingSearcher", "OneShotClassifier", "hamming_distance",
 ]

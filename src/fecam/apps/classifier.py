@@ -9,15 +9,18 @@ order so the priority encoder returns the highest-priority hit.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..designs import DesignKind
 from ..errors import OperationError
+from ..service import SearchService, ServiceStats
 from ..store import CamStore, StoreConfig, StoreStats
 from ._compat import legacy_store_config
 
-__all__ = ["range_to_prefixes", "Rule", "Packet", "TcamClassifier"]
+__all__ = ["range_to_prefixes", "Rule", "Packet", "ServedClassifier",
+           "TcamClassifier"]
 
 
 def range_to_prefixes(lo: int, hi: int, width: int) -> List[str]:
@@ -112,6 +115,44 @@ class Rule:
                 and (self.protocol is None or packet.protocol == self.protocol))
 
 
+class ServedClassifier:
+    """Concurrent classification front door over one rule-set snapshot.
+
+    Handed out by :meth:`TcamClassifier.serve`.  Thread-safe:
+    :meth:`classify` from any number of threads, :meth:`aclassify`
+    from coroutines; concurrent packets coalesce into fused batch
+    searches over the expanded rule rows.
+    """
+
+    def __init__(self, classifier: "TcamClassifier",
+                 service: SearchService):
+        self._rules = list(classifier.rules)  # snapshot for name lookup
+        self.service = service
+
+    def _name_of(self, served) -> Optional[str]:
+        best = served.best
+        return self._rules[best.payload].name if best is not None else None
+
+    def classify(self, packet: Packet) -> Optional[str]:
+        """Blocking concurrent classification; highest-priority rule name."""
+        return self._name_of(self.service.search(packet.key_bits()))
+
+    def classify_batch(self, packets: Sequence[Packet]
+                       ) -> List[Optional[str]]:
+        """Submit a burst; the dispatcher fuses it into batch searches."""
+        served = self.service.search_many(
+            [packet.key_bits() for packet in packets])
+        return [self._name_of(s) for s in served]
+
+    async def aclassify(self, packet: Packet) -> Optional[str]:
+        """``asyncio`` classification front door."""
+        return self._name_of(await self.service.asearch(packet.key_bits()))
+
+    @property
+    def stats(self) -> ServiceStats:
+        return self.service.stats
+
+
 class TcamClassifier:
     """Priority packet classifier over a 104-bit TCAM key.
 
@@ -203,6 +244,29 @@ class TcamClassifier:
             [p.key_bits() for p in packets])
         return [self.rules[r.best.payload].name if r.best is not None
                 else None for r in results]
+
+    @contextmanager
+    def serve(self, **service_kwargs) -> "Iterator[ServedClassifier]":
+        """Serve this rule set to concurrent callers via the service tier.
+
+        Builds (or reuses) the backing store and wraps it in a
+        :class:`~fecam.service.SearchService`.  The served rule set is
+        a snapshot: rules added while serving take effect on the next
+        ``serve()``, when the store is rebuilt.
+
+        While serving, the :class:`ServedClassifier` is the only
+        supported access path: the service's reader-writer lock covers
+        dispatches and service writes, not this classifier's own
+        ``classify()``/``store_stats`` entry points, so direct calls
+        from another thread race the dispatcher on the shared store.
+        """
+        if self._dirty or self._store is None:
+            self._rebuild()
+        service = SearchService(self._store, **service_kwargs)
+        try:
+            yield ServedClassifier(self, service)
+        finally:
+            service.close()
 
     def classify_reference(self, packet: Packet) -> Optional[str]:
         for rule in self.rules:

@@ -13,15 +13,18 @@ lookups and query caching.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..designs import DesignKind
 from ..errors import OperationError
+from ..service import SearchService, ServiceStats
 from ..store import CamStore, StoreConfig, StoreStats
 from ._compat import legacy_store_config
 
-__all__ = ["Route", "TcamRouter", "parse_cidr", "ip_to_int", "int_to_ip"]
+__all__ = ["Route", "ServedRouter", "TcamRouter", "parse_cidr",
+           "ip_to_int", "int_to_ip"]
 
 
 def ip_to_int(address: str) -> int:
@@ -71,6 +74,45 @@ class Route:
             return True
         shift = 32 - self.prefix_len
         return (address >> shift) == (self.network >> shift)
+
+
+class ServedRouter:
+    """Concurrent LPM front door over one routing-table snapshot.
+
+    Handed out by :meth:`TcamRouter.serve`; wraps the table's
+    :class:`~fecam.service.SearchService` with address-level lookups.
+    Thread-safe: call :meth:`lookup` from any number of threads, or
+    :meth:`alookup` from coroutines.
+    """
+
+    def __init__(self, service: SearchService):
+        self.service = service
+
+    @staticmethod
+    def _query(address: str) -> str:
+        return format(ip_to_int(address), "032b")
+
+    def lookup(self, address: str) -> Optional[str]:
+        """Blocking concurrent LPM; returns the next hop (or None)."""
+        best = self.service.search(self._query(address)).best
+        return best.payload.next_hop if best is not None else None
+
+    def lookup_batch(self, addresses: Sequence[str]) -> List[Optional[str]]:
+        """Submit a burst; the dispatcher fuses it into batch searches."""
+        served = self.service.search_many(
+            [self._query(address) for address in addresses])
+        return [s.best.payload.next_hop if s.best is not None else None
+                for s in served]
+
+    async def alookup(self, address: str) -> Optional[str]:
+        """``asyncio`` LPM front door."""
+        served = await self.service.asearch(self._query(address))
+        best = served.best
+        return best.payload.next_hop if best is not None else None
+
+    @property
+    def stats(self) -> ServiceStats:
+        return self.service.stats
 
 
 class TcamRouter:
@@ -183,6 +225,39 @@ class TcamRouter:
         results = self._store.search_batch(queries)
         return [r.best.payload.next_hop if r.best is not None else None
                 for r in results]
+
+    @contextmanager
+    def serve(self, **service_kwargs) -> "Iterator[ServedRouter]":
+        """Serve this table to concurrent callers through the service tier.
+
+        Builds (or reuses) the backing store and wraps it in a
+        :class:`~fecam.service.SearchService`, so many threads — or
+        ``asyncio`` coroutines — look up addresses concurrently and
+        their requests coalesce into fused batch searches.  The served
+        table is the route set at entry: route edits made while serving
+        take effect on the next ``serve()`` (the store is rebuilt),
+        matching how production routers swap whole FIB snapshots.
+
+        While serving, the :class:`ServedRouter` is the only supported
+        access path to the table: the service's reader-writer lock
+        covers dispatches and service writes, not this router's own
+        ``lookup()``/``stats`` entry points, so direct calls on the
+        router from another thread race the dispatcher on the shared
+        store (query-cache mutation, torn reads past service writes).
+
+        >>> router = TcamRouter(capacity=16)
+        >>> router.add_route("10.0.0.0/8", "core")
+        >>> with router.serve() as served:
+        ...     served.lookup("10.1.2.3")
+        'core'
+        """
+        if self._dirty or self._store is None:
+            self._rebuild()
+        service = SearchService(self._store, **service_kwargs)
+        try:
+            yield ServedRouter(service)
+        finally:
+            service.close()
 
     def lookup_reference(self, address: str) -> Optional[str]:
         """Pure-software LPM (specification for tests)."""

@@ -52,3 +52,20 @@ class OperationError(FecamError):
     Example: searching a cell that was never written, or issuing step 2 of a
     two-step search before step 1.
     """
+
+
+class ServiceError(OperationError):
+    """Base class for serving-tier (:mod:`fecam.service`) failures."""
+
+
+class ServiceClosed(ServiceError):
+    """Raised when a request reaches a service that has shut down."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Raised when the service's bounded request queue is full.
+
+    Backpressure is explicit: callers see this error immediately rather
+    than blocking behind an unbounded queue, and can retry, shed load,
+    or route elsewhere.
+    """

@@ -1,0 +1,23 @@
+"""`fecam.service` — the concurrent serving tier.
+
+One :class:`SearchService` turns a single-caller
+:class:`~fecam.store.CamStore` into a thread-safe query server: a
+micro-batching dispatcher coalesces concurrent requests into fused
+``search_batch`` calls, a writer-preferring :class:`RWLock` gives
+writers exclusivity while readers search consistent snapshots, and
+every result carries the write-generation it was computed at.
+
+Typed failure modes live in :mod:`fecam.errors`
+(:class:`~fecam.errors.ServiceOverloaded`,
+:class:`~fecam.errors.ServiceClosed`); telemetry in
+:class:`ServiceStats`.
+"""
+
+from ..errors import ServiceClosed, ServiceError, ServiceOverloaded
+from .locks import RWLock
+from .service import SearchService, ServedResult
+from .stats import LatencyReservoir, ServiceStats
+
+__all__ = ["SearchService", "ServedResult", "ServiceStats",
+           "LatencyReservoir", "RWLock", "ServiceError", "ServiceClosed",
+           "ServiceOverloaded"]

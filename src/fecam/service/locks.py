@@ -1,0 +1,98 @@
+"""Reader-writer lock for the serving tier.
+
+Associative search is read-dominated (routing tables mutate rarely;
+rule sets are near-static), so the service lets any number of search
+dispatches proceed concurrently while a write takes the whole store
+exclusively.  The lock is *writer-preferring*: once a writer is
+waiting, new readers queue behind it, so a steady search load cannot
+starve table updates — the failure mode that matters for a serving
+layer whose whole point is heavy read traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from contextlib import contextmanager
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """A writer-preferring reader-writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Readers arriving while a writer is active *or waiting*
+    block, which bounds writer latency at the tail of the in-flight
+    reader set.
+
+    >>> lock = RWLock()
+    >>> with lock.read_locked():
+    ...     pass
+    >>> with lock.write_locked():
+    ...     pass
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- reader side -------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers < 0:
+                self._readers = 0
+                raise RuntimeError("release_read() without acquire_read()")
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    # -- writer side -------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError(
+                    "release_write() without acquire_write()")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<RWLock readers={self._readers} "
+                f"writer={self._writer_active} "
+                f"writers_waiting={self._writers_waiting}>")

@@ -1,0 +1,477 @@
+"""`SearchService` — concurrent micro-batching serving over a store.
+
+Every entry point below the service is a synchronous single-caller API;
+the fused arena kernel only pays off when many queries arrive in one
+``search_batch`` call.  The service closes that gap for concurrent
+callers: requests enqueue onto a bounded queue, a dispatcher thread
+drains it every ``max_wait`` seconds (or as soon as ``max_batch``
+requests are waiting) and issues **one** fused batch search for the
+whole drain — many small independent requests ride one kernel pass.
+
+Consistency is snapshot isolation by construction:
+
+* writers (:meth:`SearchService.write` and the convenience wrappers)
+  take a writer-preferring :class:`~fecam.service.RWLock` exclusively;
+* the dispatcher searches under the read side, so a batch can never
+  observe a half-applied write, and every result is tagged with the
+  store's write-generation at which it was computed
+  (:attr:`ServedResult.generation`) — a serial replay of the write
+  journal up to that generation reproduces the result bit-identically
+  (the stress suite proves exactly this).
+
+Backpressure is explicit: a full queue raises
+:class:`~fecam.errors.ServiceOverloaded` at submission, a closed
+service raises :class:`~fecam.errors.ServiceClosed`.  Both a sync front
+door (``submit().result()`` / :meth:`search`) and an ``asyncio`` one
+(:meth:`asearch`, bridging the dispatcher's
+:class:`concurrent.futures.Future` into the caller's event loop) are
+provided.
+
+>>> from fecam.store import CamStore, StoreConfig
+>>> store = CamStore(StoreConfig(width=8, rows=4, fidelity="analytical"))
+>>> _ = store.insert("1010XXXX", key="rule-a")
+>>> with SearchService(store) as service:
+...     served = service.search("10101111")
+>>> served.result.best.key
+'rule-a'
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from collections import Counter, OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+from typing import (Any, Callable, Hashable, List, Optional, Sequence,
+                    Tuple, Union)
+
+from ..errors import OperationError, ServiceClosed, ServiceOverloaded
+from ..fabric.batch import normalize_queries
+from ..store import CamStore
+from ..store.result import Match, Query, QueryResult
+from .locks import RWLock
+from .stats import LatencyReservoir, ServiceStats
+
+__all__ = ["SearchService", "ServedResult"]
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """One completed request: the result plus its consistency tag.
+
+    ``generation`` is the store write-generation the search was computed
+    at — every write through the service advances it by exactly one, so
+    replaying the write journal up to ``generation`` reproduces the
+    store state this result observed.  ``latency`` is the wall time from
+    submission to completion (what the caller actually waited, including
+    queueing and coalescing delay).
+    """
+
+    result: QueryResult
+    generation: int
+    latency: float
+
+    @property
+    def best(self) -> Optional[Match]:
+        return self.result.best
+
+    @property
+    def match_keys(self) -> List[Hashable]:
+        return self.result.match_keys
+
+
+class _Pending:
+    """One enqueued request (slotted: the queue churns at request rate)."""
+
+    __slots__ = ("bits", "mask", "future", "enqueued_at")
+
+    def __init__(self, bits: str, mask: Optional[str], future: "Future",
+                 enqueued_at: float):
+        self.bits = bits
+        self.mask = mask
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class SearchService:
+    """Thread-safe micro-batching search service over a :class:`CamStore`.
+
+    Parameters
+    ----------
+    store:
+        The store to serve.  The service assumes ownership of its
+        consistency: all mutation while serving must go through
+        :meth:`write` (or the ``insert``/``delete``/``update``
+        wrappers), which take the writer lock.
+    max_batch:
+        Most requests one dispatch drains (the fused-kernel batch size).
+    max_wait:
+        Longest a request waits for co-riders before dispatching anyway
+        (seconds).  The default ``0`` is *natural batching*: the
+        dispatcher drains whatever is queued immediately, and batches
+        form from the requests that pile up while the previous kernel
+        call runs — no artificial latency, coalescing proportional to
+        load.  A positive window trades per-request latency for larger
+        fused batches (useful when callers pipeline bursts).
+    max_queue:
+        Bound of the request queue; submissions past it raise
+        :class:`ServiceOverloaded`.
+    start:
+        Start the dispatcher thread immediately (default).  Pass
+        ``False`` to enqueue deterministically first — tests do this to
+        pin batch composition — then call :meth:`start`.
+    latency_window:
+        Size of the latency reservoir behind the p50/p99 stats.
+    """
+
+    def __init__(self, store: CamStore, *, max_batch: int = 64,
+                 max_wait: float = 0.0, max_queue: int = 1024,
+                 start: bool = True, latency_window: int = 4096):
+        if max_batch < 1:
+            raise OperationError("max_batch must be at least 1")
+        if max_queue < 1:
+            raise OperationError("max_queue must be at least 1")
+        if max_wait < 0:
+            raise OperationError("max_wait must be non-negative")
+        self.store = store
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.max_queue = max_queue
+        self._rw = RWLock()
+        # One mutex guards the queue and every counter; the condition
+        # wakes the dispatcher on submissions and close().
+        self._mutex = threading.Lock()
+        self._wakeup = threading.Condition(self._mutex)
+        self._queue: "deque[_Pending]" = deque()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._submitted = 0
+        self._served = 0
+        self._failed = 0
+        self._overloads = 0
+        self._max_queue_depth = 0
+        self._batches = 0
+        self._batch_sizes: "Counter[int]" = Counter()
+        self._coalesced = 0
+        self._direct = 0
+        self._writes = 0
+        self._latencies = LatencyReservoir(latency_window)
+        if start:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "SearchService":
+        """Start the dispatcher thread (idempotent)."""
+        with self._mutex:
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            if self._thread is not None:
+                return self
+            self._thread = threading.Thread(
+                target=self._dispatch_loop,
+                name="fecam-service-dispatcher", daemon=True)
+            # Start inside the mutex: close() may read _thread the
+            # moment we release it, and joining a never-started thread
+            # raises.
+            self._thread.start()
+        return self
+
+    @property
+    def closed(self) -> bool:
+        with self._mutex:
+            return self._closed
+
+    def close(self, *, drain: bool = True,
+              timeout: Optional[float] = None) -> bool:
+        """Shut down: stop accepting, then drain or fail the queue.
+
+        With ``drain=True`` (default) every already-accepted request is
+        still served before the dispatcher exits; with ``drain=False``
+        queued requests fail with :class:`ServiceClosed`.  Idempotent.
+
+        Returns ``True`` when the dispatcher has fully stopped (the
+        drain contract held).  With a ``timeout``, a still-draining
+        dispatcher makes this return ``False`` — requests may complete
+        after the call returns, and callers who need the drain
+        guarantee must check the result rather than assume it.
+        """
+        with self._mutex:
+            already = self._closed
+            self._closed = True
+            rejected: List[_Pending] = []
+            if not drain:
+                rejected = list(self._queue)
+                self._queue.clear()
+            self._wakeup.notify_all()
+            thread = self._thread
+        for pending in rejected:
+            self._complete_error(pending.future,
+                                 ServiceClosed("service closed before "
+                                               "this request dispatched"))
+        if thread is not None:
+            thread.join(timeout)
+            return not thread.is_alive()
+        if drain and not already:
+            # Never started: serve the backlog inline so close() keeps
+            # its contract (accepted requests complete) even without a
+            # dispatcher thread.
+            self._dispatch_loop()
+        return True
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- front doors -------------------------------------------------------------
+
+    def submit(self, query: Union[Query, str],
+               mask: Optional[str] = None) -> "Future[ServedResult]":
+        """Enqueue one request; returns a future of :class:`ServedResult`.
+
+        Validation happens here, at the front door, so a malformed query
+        fails its own future's caller immediately instead of poisoning
+        the batch it would have ridden.
+        """
+        query = Query.coerce(query)
+        bits = normalize_queries([query.bits], self.store.width)[0]
+        if query.mask is not None and mask is not None \
+                and query.mask != mask:
+            raise OperationError(
+                "the query's own mask conflicts with the mask argument")
+        effective_mask = query.mask if query.mask is not None else mask
+        future: "Future[ServedResult]" = Future()
+        pending = _Pending(bits, effective_mask, future,
+                           time.perf_counter())
+        with self._mutex:
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            if len(self._queue) >= self.max_queue:
+                self._overloads += 1
+                raise ServiceOverloaded(
+                    f"request queue is full ({self.max_queue} pending)")
+            self._queue.append(pending)
+            self._submitted += 1
+            depth = len(self._queue)
+            if depth > self._max_queue_depth:
+                self._max_queue_depth = depth
+            self._wakeup.notify_all()
+        return future
+
+    def submit_many(self, queries: Sequence[Union[Query, str]],
+                    mask: Optional[str] = None
+                    ) -> "List[Future[ServedResult]]":
+        """Enqueue a burst; per-request futures, same order."""
+        return [self.submit(query, mask) for query in queries]
+
+    def search(self, query: Union[Query, str],
+               mask: Optional[str] = None, *,
+               timeout: Optional[float] = None) -> ServedResult:
+        """Blocking front door: ``submit().result()``."""
+        return self.submit(query, mask).result(timeout)
+
+    def search_many(self, queries: Sequence[Union[Query, str]],
+                    mask: Optional[str] = None, *,
+                    timeout: Optional[float] = None) -> List[ServedResult]:
+        """Blocking burst: submit all, then wait for all, in order."""
+        futures = self.submit_many(queries, mask)
+        return [future.result(timeout) for future in futures]
+
+    async def asearch(self, query: Union[Query, str],
+                      mask: Optional[str] = None) -> ServedResult:
+        """``asyncio`` front door.
+
+        The dispatcher completes :class:`concurrent.futures.Future`
+        objects from its own thread; ``asyncio.wrap_future`` bridges one
+        into the running loop, so any number of coroutines await
+        concurrently and coalesce into the same fused batches as
+        threads do.
+        """
+        return await asyncio.wrap_future(self.submit(query, mask))
+
+    async def asearch_many(self, queries: Sequence[Union[Query, str]],
+                           mask: Optional[str] = None
+                           ) -> List[ServedResult]:
+        futures = [asyncio.wrap_future(self.submit(query, mask))
+                   for query in queries]
+        return list(await asyncio.gather(*futures))
+
+    # -- writes ------------------------------------------------------------------
+
+    def write(self, txn: Callable[[CamStore], Any]) -> Any:
+        """Run one mutating transaction with writer exclusivity.
+
+        ``txn`` receives the store and runs with every search dispatch
+        excluded, so multi-operation transactions are atomic with
+        respect to served results — no batch ever observes a
+        half-applied ``txn``.  Returns whatever ``txn`` returns.
+        """
+        if self.closed:
+            raise ServiceClosed("service is closed")
+        with self._rw.write_locked():
+            result = txn(self.store)
+        with self._mutex:
+            self._writes += 1
+        return result
+
+    def insert(self, word: str, key: Optional[Hashable] = None, *,
+               priority: Optional[float] = None,
+               payload: Any = None) -> Match:
+        return self.write(lambda store: store.insert(
+            word, key=key, priority=priority, payload=payload))
+
+    def insert_many(self, words: Sequence[str],
+                    keys: Optional[Sequence[Hashable]] = None, *,
+                    priorities: Optional[Sequence[float]] = None,
+                    payloads: Optional[Sequence[Any]] = None
+                    ) -> List[Match]:
+        return self.write(lambda store: store.insert_many(
+            words, keys=keys, priorities=priorities, payloads=payloads))
+
+    def delete(self, key: Hashable) -> Match:
+        return self.write(lambda store: store.delete(key))
+
+    def update(self, key: Hashable, word: str, *,
+               payload: Any = None) -> Match:
+        return self.write(lambda store: store.update(
+            key, word, payload=payload))
+
+    # -- dispatcher --------------------------------------------------------------
+
+    def _next_batch(self) -> Optional[List[_Pending]]:
+        """Block until work or shutdown; drain up to ``max_batch``.
+
+        The coalescing window: after the first request arrives, keep
+        waiting (up to ``max_wait``) for co-riders unless the batch is
+        already full or the service is closing — a closing service
+        drains at full speed.
+        """
+        with self._mutex:
+            while not self._queue and not self._closed:
+                self._wakeup.wait()
+            if not self._queue:
+                return None  # closed and drained: dispatcher exits
+            if self.max_wait > 0 and not self._closed \
+                    and len(self._queue) < self.max_batch:
+                deadline = time.monotonic() + self.max_wait
+                while len(self._queue) < self.max_batch \
+                        and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._wakeup.wait(remaining)
+            n = min(self.max_batch, len(self._queue))
+            return [self._queue.popleft() for _ in range(n)]
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._serve(batch)
+
+    def _serve(self, batch: List[_Pending]) -> None:
+        """One dispatch: search the whole drain under the read lock.
+
+        Requests sharing a mask fuse into one ``search_batch`` call; a
+        drain mixing masks issues one call per mask group (the kernel
+        applies a single mask per batch), all inside one read-lock hold
+        so every result of the dispatch reports the same generation.
+        """
+        groups: "OrderedDict[Optional[str], List[_Pending]]" = OrderedDict()
+        for pending in batch:
+            groups.setdefault(pending.mask, []).append(pending)
+        outcomes: List[Tuple[List[_Pending], Optional[BaseException],
+                             Optional[List[QueryResult]]]] = []
+        with self._rw.read_locked():
+            generation = self.store.generation
+            for mask, group in groups.items():
+                try:
+                    results = self.store.search_batch(
+                        [pending.bits for pending in group], mask=mask)
+                except Exception as exc:  # fail the group, keep serving
+                    outcomes.append((group, exc, None))
+                else:
+                    # Freeze the results while the read lock still
+                    # excludes writers: backends reuse live Match
+                    # objects (update() mutates word/payload in place),
+                    # so served results must hold copies or a later
+                    # write would retroactively rewrite them — the
+                    # torn read the stress suite's serial replay
+                    # catches.
+                    outcomes.append((group, None, [
+                        replace(r, matches=[replace(m) for m in r.matches])
+                        for r in results]))
+        completed_at = time.perf_counter()
+        size = len(batch)
+        with self._mutex:
+            self._batches += 1
+            self._batch_sizes[size] += 1
+            if size > 1:
+                self._coalesced += size
+            else:
+                self._direct += 1
+        for group, error, results in outcomes:
+            if error is not None:
+                for pending in group:
+                    self._complete_error(pending.future, error)
+                continue
+            for pending, result in zip(group, results):
+                latency = completed_at - pending.enqueued_at
+                self._complete(pending.future, ServedResult(
+                    result=result, generation=generation,
+                    latency=latency))
+
+    def _complete(self, future: "Future[ServedResult]",
+                  served: ServedResult) -> None:
+        if not future.set_running_or_notify_cancel():
+            return  # caller cancelled while queued; nothing to deliver
+        # Count before completing: a caller reading stats right after
+        # its result resolves must see itself served.
+        with self._mutex:
+            self._served += 1
+            self._latencies.record(served.latency)
+        future.set_result(served)
+
+    def _complete_error(self, future: "Future[ServedResult]",
+                        error: BaseException) -> None:
+        if not future.set_running_or_notify_cancel():
+            return
+        with self._mutex:
+            self._failed += 1
+        future.set_exception(error)
+
+    # -- telemetry ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> ServiceStats:
+        # Copy under the mutex, compute outside it: percentiles sort
+        # the (bounded) latency window, and the submit/dispatch hot
+        # path must not stall behind a monitoring poll.
+        with self._mutex:
+            sample = self._latencies.snapshot()
+            counters = dict(
+                submitted=self._submitted, served=self._served,
+                failed=self._failed, overloads=self._overloads,
+                queue_depth=len(self._queue),
+                max_queue_depth=self._max_queue_depth,
+                batches=self._batches,
+                batch_size_hist=dict(self._batch_sizes),
+                coalesced=self._coalesced, direct=self._direct,
+                writes=self._writes,
+                generation=self.store.generation)
+        return ServiceStats(
+            p50_latency=LatencyReservoir.percentile(sample, 50.0),
+            p99_latency=LatencyReservoir.percentile(sample, 99.0),
+            latency_samples=len(sample), **counters)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "closed" if self.closed else "open"
+        return (f"<SearchService {state} store={self.store!r} "
+                f"max_batch={self.max_batch} max_wait={self.max_wait} "
+                f"max_queue={self.max_queue}>")

@@ -1,0 +1,112 @@
+"""Serving-tier telemetry: counters, batch histogram, latency tails.
+
+:class:`ServiceStats` is an immutable snapshot a
+:class:`~fecam.service.SearchService` produces on demand — safe to read
+while the dispatcher keeps serving.  Latency percentiles come from a
+bounded reservoir of the most recent request latencies (enqueue to
+completion), so the p50/p99 track current behavior instead of averaging
+over the whole process lifetime.
+"""
+
+from __future__ import annotations
+
+import math
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+__all__ = ["LatencyReservoir", "ServiceStats"]
+
+
+class LatencyReservoir:
+    """Sliding window of the last ``capacity`` request latencies.
+
+    ``percentile`` uses the nearest-rank method on a sorted copy; with
+    the default window of a few thousand samples that is microseconds of
+    work, paid only when a stats snapshot is requested.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self._window: "deque[float]" = deque(maxlen=capacity)
+
+    def record(self, latency: float) -> None:
+        self._window.append(latency)
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def snapshot(self) -> "tuple[float, ...]":
+        return tuple(self._window)
+
+    @staticmethod
+    def percentile(sample: Iterable[float], p: float) -> float:
+        """Nearest-rank percentile of ``sample`` (0.0 when empty)."""
+        ordered = sorted(sample)
+        if not ordered:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        rank = max(int(math.ceil(p / 100.0 * len(ordered))), 1)
+        return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One immutable snapshot of a service's cumulative telemetry.
+
+    ``coalesced`` counts requests served by a dispatch batch that held
+    more than one request (the micro-batcher paid off); ``direct``
+    counts requests that dispatched alone.  ``coalesced_ratio`` is their
+    normalized split — 1.0 means every request rode a fused batch.
+    """
+
+    submitted: int          # requests accepted into the queue
+    served: int             # futures completed with a result
+    failed: int             # futures completed with an exception
+    overloads: int          # submissions rejected by backpressure
+    queue_depth: int        # requests waiting right now
+    max_queue_depth: int    # high-water mark of the bounded queue
+    batches: int            # dispatches issued to the store
+    batch_size_hist: Dict[int, int] = field(default_factory=dict)
+    coalesced: int = 0      # requests served in a batch of size > 1
+    direct: int = 0         # requests served in a batch of size 1
+    writes: int = 0         # write transactions applied via the service
+    generation: int = 0     # store write-generation at snapshot time
+    p50_latency: float = 0.0   # s, median request latency (window)
+    p99_latency: float = 0.0   # s, tail request latency (window)
+    latency_samples: int = 0   # how many latencies back the percentiles
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(size * count
+                    for size, count in self.batch_size_hist.items())
+        return total / self.batches if self.batches else 0.0
+
+    @property
+    def coalesced_ratio(self) -> float:
+        total = self.coalesced + self.direct
+        return self.coalesced / total if total else 0.0
+
+    @property
+    def pending(self) -> int:
+        """Requests accepted but not yet completed (either way)."""
+        return self.submitted - self.served - self.failed
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict (histogram keyed by int batch size) for JSON dumps."""
+        return {
+            "submitted": self.submitted, "served": self.served,
+            "failed": self.failed, "overloads": self.overloads,
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "batches": self.batches,
+            "batch_size_hist": dict(self.batch_size_hist),
+            "mean_batch_size": self.mean_batch_size,
+            "coalesced": self.coalesced, "direct": self.direct,
+            "coalesced_ratio": self.coalesced_ratio,
+            "writes": self.writes, "generation": self.generation,
+            "p50_latency_s": self.p50_latency,
+            "p99_latency_s": self.p99_latency,
+            "latency_samples": self.latency_samples,
+        }

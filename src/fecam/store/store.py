@@ -132,6 +132,22 @@ class CamStore:
     def occupancy(self) -> int:
         return self.backend.occupancy
 
+    @property
+    def generation(self) -> int:
+        """Monotonic write-generation counter of this store's content.
+
+        Advances by exactly one on every mutating operation —
+        ``insert``, ``insert_many`` (one bump for the whole batch),
+        ``delete``, ``update`` — mirroring the planes-tier
+        write-generation scheme one level up, where a generation is one
+        journaled operation instead of one arena write.  The query
+        cache invalidates on it, and the serving tier tags every
+        result with the generation it was computed at, so a serial
+        replay of the operation journal up to that generation
+        reproduces the observed state.
+        """
+        return self._generation
+
     # -- content lifecycle -------------------------------------------------------
 
     def _allocate_key(self, key: Optional[Hashable]) -> Hashable:

@@ -92,6 +92,39 @@ def test_mixing_legacy_and_config_rejected():
         TcamRouter(capacity=4, banks=2, store_config=StoreConfig())
 
 
+def test_error_names_constructor_and_offending_kwargs():
+    with pytest.raises(OperationError) as excinfo:
+        TcamClassifier(banks=2, cache_size=4, store_config=StoreConfig())
+    message = str(excinfo.value)
+    assert "TcamClassifier" in message
+    assert "banks" in message and "cache_size" in message
+
+
+def test_warn_once_custom_stacklevel_points_at_caller():
+    from fecam.apps._compat import warn_once
+
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        warn_once("CustomCtor", "CustomCtor(...) is deprecated",
+                  stacklevel=2)
+        warn_once("CustomCtor", "CustomCtor(...) is deprecated",
+                  stacklevel=2)
+    warns = deprecations(record)
+    assert len(warns) == 1
+    assert warns[0].filename == __file__  # stacklevel=2: our frame
+
+
+def test_legacy_config_carries_all_resolved_fields():
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        router = TcamRouter(capacity=4, banks=3, cache_size=16,
+                            design=DesignKind.SG_1T5)
+    config = router.store_config
+    assert config.banks == 3
+    assert config.cache_size == 16
+    assert config.design is DesignKind.SG_1T5
+
+
 def test_tcam_injection_shim_adopts_content():
     cam = TernaryCAM(rows=4, width=8)
     cam.write(0, "11110000")

@@ -1,0 +1,37 @@
+"""Shared test configuration: hypothesis profiles and pytest markers.
+
+Hypothesis settings profiles let the property/stress suites run deep
+locally while staying bounded on shared CI runners:
+
+* ``ci``      — few examples, no deadline (loaded runners stall);
+* ``dev``     — the local default: the depth the suites were tuned at;
+* ``nightly`` — exhaustive sweeps for scheduled runs.
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest ...`` (default: ``dev``).
+Tests that pin their own ``@settings(max_examples=...)`` keep their
+tuned depth; profile-controlled suites (e.g. the backend conformance
+and equivalence batteries) scale with the profile.
+
+The ``slow`` marker tags the deep stress/property tests; skip them for
+quick iteration with ``pytest -m "not slow"``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci", max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile("dev", max_examples=40, deadline=None)
+settings.register_profile(
+    "nightly", max_examples=300, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: deep stress/property tests — deselect with "
+        "-m \"not slow\" for quick iteration")

@@ -47,6 +47,14 @@ class TestEndurance:
         with pytest.raises(OperationError):
             m.lifetime_years(2.0, 0.0)
 
+    def test_polarity_independent(self):
+        """Write stress depends on |V|: a -2 V pulse ages like +2 V."""
+        m = EnduranceModel()
+        assert m.cycles_to_failure(-2.0) == m.cycles_to_failure(2.0)
+
+    def test_sub_cycle_counts_cost_nothing(self):
+        assert EnduranceModel().mw_degradation(0.5, 2.0) == 0.0
+
 
 class TestRetention:
     def test_full_states_retain_decade(self):
@@ -97,3 +105,22 @@ class TestReport:
     def test_cmos_rejected(self):
         with pytest.raises(OperationError):
             reliability_report(DesignKind.CMOS_16T)
+
+    def test_report_knobs_flow_through(self):
+        slow = reliability_report(DesignKind.DG_1T5,
+                                  writes_per_second=1.0)
+        fast = reliability_report(DesignKind.DG_1T5,
+                                  writes_per_second=1000.0)
+        assert slow["lifetime_years_at_rate"] == pytest.approx(
+            1000.0 * fast["lifetime_years_at_rate"], rel=1e-9)
+        short = reliability_report(DesignKind.DG_1T5, retention_years=1.0)
+        long = reliability_report(DesignKind.DG_1T5, retention_years=10.0)
+        assert long["retention_vth_drift_lvt_v"] > \
+            short["retention_vth_drift_lvt_v"]
+
+    def test_tau_interpolates_between_floor_and_full(self):
+        r = RetentionModel()
+        assert r.tau(1.0) == pytest.approx(r.tau_full)
+        assert r.tau(0.0) == pytest.approx(r.tau_full)
+        assert r.tau(0.5) == pytest.approx(r.tau_full / r.mvt_penalty)
+        assert r.tau(0.0) > r.tau(0.25) > r.tau(0.5)

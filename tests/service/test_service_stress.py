@@ -1,0 +1,320 @@
+"""Concurrency stress tests: N writers + M readers hammer one service.
+
+The headline guarantee — **snapshot isolation** — is proven by serial
+replay: every write through the service advances the store's
+write-generation by exactly one and is journaled (atomically, inside
+the same write transaction), and every served result reports the
+generation it was computed at.  After the storm, a fresh store replays
+the journal prefix up to each observed generation and re-runs the same
+query; the concurrent result must be *bit-identical* (keys, words,
+rows, energy, latency) to the serial replay.  A torn read — a search
+overlapping a half-applied write — cannot survive this check.
+
+Also covered: the bounded queue holds under flood (typed overloads,
+high-water mark never past the bound) and shutdown drains every
+accepted request.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from fecam.designs import DesignKind
+from fecam.errors import ServiceClosed, ServiceOverloaded
+from fecam.functional import EnergyModel
+from fecam.service import SearchService
+from fecam.store import CamStore, StoreConfig
+
+WIDTH = 12
+ROWS = 64
+KEYSPACE = [f"k{i}" for i in range(40)]
+
+
+def fast_model():
+    return EnergyModel(DesignKind.DG_1T5, WIDTH, e_1step_per_bit=0.8e-15,
+                       e_2step_per_bit=1.3e-15, latency_1step=0.7e-9,
+                       latency_2step=2.3e-9, write_energy_per_cell=0.4e-15)
+
+
+def make_store(banks=2):
+    # No query cache: replay compares energy/latency bit-for-bit, and
+    # cache hits legitimately report zero cost.
+    return CamStore(StoreConfig(width=WIDTH, rows=ROWS, banks=banks,
+                                energy_model=fast_model()))
+
+
+def random_word(rng):
+    return "".join(rng.choice("01X") for _ in range(WIDTH))
+
+
+def random_query(rng):
+    return "".join(rng.choice("01") for _ in range(WIDTH))
+
+
+def apply_journaled_op(service, journal, base_generation, rng):
+    """One random journaled mutation, atomic under the write lock.
+
+    The op is *resolved* against live store state inside the
+    transaction (insert-or-update, delete-if-present), and the resolved
+    form is journaled in the same critical section — so journal index
+    and write-generation advance in lockstep.
+    """
+    kind = rng.choice(("insert", "insert", "update", "delete", "bulk"))
+    key = rng.choice(KEYSPACE)
+    word = random_word(rng)
+
+    def txn(store):
+        if kind in ("insert", "update"):
+            if key in store:
+                store.update(key, word)
+                journal.append(("update", key, word))
+            else:
+                store.insert(word, key=key)
+                journal.append(("insert", key, word))
+        elif kind == "delete":
+            if key not in store:
+                return  # no mutation, no generation bump, no journal
+            store.delete(key)
+            journal.append(("delete", key))
+        else:
+            keys = [k for k in rng.sample(KEYSPACE, 4) if k not in store]
+            if not keys:
+                return
+            words = [random_word(rng) for _ in keys]
+            store.insert_many(words, keys=keys)
+            journal.append(("insert_many", tuple(keys), tuple(words)))
+        assert store.generation == base_generation + len(journal)
+
+    service.write(txn)
+
+
+def replay(journal_prefix, preload):
+    """A fresh store with the preload plus a journal prefix applied."""
+    store = make_store()
+    store.insert_many([word for _, word in preload],
+                      keys=[key for key, _ in preload])
+    for op in journal_prefix:
+        if op[0] == "insert":
+            store.insert(op[2], key=op[1])
+        elif op[0] == "update":
+            store.update(op[1], op[2])
+        elif op[0] == "delete":
+            store.delete(op[1])
+        else:
+            store.insert_many(list(op[2]), keys=list(op[1]))
+    return store
+
+
+def assert_bit_identical(served, replayed):
+    lhs, rhs = served.result, replayed
+    assert lhs.match_keys == rhs.match_keys
+    assert [m.word for m in lhs.matches] == [m.word for m in rhs.matches]
+    assert [(m.bank, m.row) for m in lhs.matches] == \
+        [(m.bank, m.row) for m in rhs.matches]
+    assert lhs.energy == rhs.energy
+    assert lhs.latency == rhs.latency
+
+
+def run_storm(n_writers, n_readers, ops_per_writer, reads_per_reader,
+              seed, max_batch=32):
+    """Run the storm; returns (journal, preload, observations, stats)."""
+    rng = random.Random(seed)
+    preload = [(f"seed{i}", random_word(rng)) for i in range(8)]
+    store = make_store()
+    store.insert_many([word for _, word in preload],
+                      keys=[key for key, _ in preload])
+    base_generation = store.generation
+    journal = []  # append only inside write transactions
+    observations = []
+    observations_lock = threading.Lock()
+    errors = []
+
+    with SearchService(store, max_batch=max_batch,
+                       max_queue=4096) as service:
+        def writer(widx):
+            wrng = random.Random(f"{seed}-w-{widx}")
+            try:
+                for _ in range(ops_per_writer):
+                    apply_journaled_op(service, journal,
+                                       base_generation, wrng)
+                    # Sub-ms think time: a zero-gap writer loop plus
+                    # writer preference would starve every dispatch
+                    # until the writers finish (all reads would then
+                    # observe one final generation — no interleaving
+                    # left to test).
+                    time.sleep(wrng.random() * 1e-3)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader(ridx):
+            rrng = random.Random(f"{seed}-r-{ridx}")
+            local = []
+            try:
+                for _ in range(reads_per_reader):
+                    bits = random_query(rrng)
+                    local.append((bits, service.search(bits)))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            with observations_lock:
+                observations.extend(local)
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(n_writers)]
+        threads += [threading.Thread(target=reader, args=(i,))
+                    for i in range(n_readers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = service.stats
+
+    assert not errors, errors
+    assert store.generation == base_generation + len(journal)
+    return journal, preload, observations, stats, base_generation
+
+
+def check_snapshot_isolation(journal, preload, observations,
+                             base_generation):
+    """Serial replay: every result == the store at its generation."""
+    by_generation = {}
+    for bits, served in observations:
+        assert base_generation <= served.generation \
+            <= base_generation + len(journal)
+        by_generation.setdefault(served.generation, []).append(
+            (bits, served))
+    # Replay incrementally in generation order; one store walks the
+    # journal so the check is O(journal + observations), not O(n^2).
+    replayed = replay([], preload)
+    applied = 0
+    for generation in sorted(by_generation):
+        target = generation - base_generation
+        while applied < target:
+            apply_one(replayed, journal[applied])
+            applied += 1
+        for bits, served in by_generation[generation]:
+            assert_bit_identical(
+                served, replayed.search(bits, use_cache=False))
+
+
+def apply_one(store, op):
+    if op[0] == "insert":
+        store.insert(op[2], key=op[1])
+    elif op[0] == "update":
+        store.update(op[1], op[2])
+    elif op[0] == "delete":
+        store.delete(op[1])
+    else:
+        store.insert_many(list(op[2]), keys=list(op[1]))
+
+
+class TestSnapshotIsolation:
+    def test_no_torn_reads_under_write_read_storm(self):
+        journal, preload, observations, stats, base = run_storm(
+            n_writers=2, n_readers=4, ops_per_writer=40,
+            reads_per_reader=60, seed=1)
+        assert observations and journal
+        check_snapshot_isolation(journal, preload, observations, base)
+        assert stats.served == len(observations)
+        assert stats.writes >= len(journal)  # no-op txns also count
+
+    @pytest.mark.slow
+    def test_no_torn_reads_deep_storm(self):
+        journal, preload, observations, stats, base = run_storm(
+            n_writers=4, n_readers=8, ops_per_writer=120,
+            reads_per_reader=150, seed=2, max_batch=64)
+        assert len(journal) > 100
+        check_snapshot_isolation(journal, preload, observations, base)
+        # Under 8 concurrent readers the micro-batcher must coalesce.
+        assert stats.coalesced > 0
+        assert stats.max_queue_depth >= 2
+
+    def test_readers_span_multiple_generations(self):
+        journal, preload, observations, _, base = run_storm(
+            n_writers=2, n_readers=4, ops_per_writer=50,
+            reads_per_reader=80, seed=3)
+        generations = {served.generation for _, served in observations}
+        # The storm interleaves enough for readers to observe the table
+        # at several distinct snapshots (not one frozen generation).
+        assert len(generations) > 1
+        check_snapshot_isolation(journal, preload, observations, base)
+
+
+class TestQueueBounds:
+    def test_bounded_queue_holds_under_flood(self):
+        store = make_store()
+        store.insert("1" * WIDTH, key="k")
+        max_queue = 8
+        accepted = []
+        overloads = [0]
+        accepted_lock = threading.Lock()
+
+        with SearchService(store, max_queue=max_queue,
+                           max_batch=4) as service:
+            def flooder(seed):
+                rng = random.Random(seed)
+                for _ in range(100):
+                    try:
+                        future = service.submit(random_query(rng))
+                    except ServiceOverloaded:
+                        with accepted_lock:
+                            overloads[0] += 1
+                    else:
+                        with accepted_lock:
+                            accepted.append(future)
+
+            threads = [threading.Thread(target=flooder, args=(i,))
+                       for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            results = [future.result(timeout=10) for future in accepted]
+            stats = service.stats
+
+        # The bound held: depth never exceeded the configured queue.
+        assert stats.max_queue_depth <= max_queue
+        assert stats.overloads == overloads[0]
+        # Every accepted request completed with a real result.
+        assert len(results) == len(accepted)
+        assert stats.served == len(accepted)
+        assert all(r.result is not None for r in results)
+        assert accepted and overloads[0] > 0  # both regimes exercised
+
+
+class TestCleanShutdown:
+    def test_close_drains_in_flight_requests_under_load(self):
+        store = make_store()
+        store.insert("1" * WIDTH, key="k")
+        service = SearchService(store, max_batch=8, max_queue=4096)
+        futures = []
+        futures_lock = threading.Lock()
+        closed = threading.Event()
+
+        def submitter(seed):
+            rng = random.Random(seed)
+            while not closed.is_set():
+                try:
+                    future = service.submit(random_query(rng))
+                except (ServiceClosed, ServiceOverloaded):
+                    return
+                with futures_lock:
+                    futures.append(future)
+
+        threads = [threading.Thread(target=submitter, args=(i,))
+                   for i in range(6)]
+        for thread in threads:
+            thread.start()
+        while len(futures) < 200:  # let real load build up
+            pass
+        closed.set()
+        for thread in threads:
+            thread.join()
+        service.close(drain=True)
+        # Every accepted request was served before shutdown completed.
+        assert all(future.done() for future in futures)
+        assert all(future.exception() is None for future in futures)
+        assert service.stats.served == len(futures)
+        with pytest.raises(ServiceClosed):
+            service.submit("0" * WIDTH)

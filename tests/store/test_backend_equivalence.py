@@ -13,6 +13,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+# Example depth comes from the settings profile registered in
+# tests/conftest.py (HYPOTHESIS_PROFILE=ci|dev|nightly): deep locally,
+# bounded on CI, exhaustive nightly.
+
 from fecam.designs import DesignKind
 from fecam.functional import EnergyModel
 from fecam.store import ArrayBackend, CamStore, FabricBackend, StoreConfig
@@ -45,7 +49,7 @@ queries_strategy = st.lists(
     min_size=1, max_size=16)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(deadline=None)
 @given(words=words_strategy, queries=queries_strategy, data=st.data())
 def test_array_and_one_bank_fabric_are_bit_identical(words, queries, data):
     priorities = data.draw(st.lists(
@@ -75,7 +79,7 @@ def test_array_and_one_bank_fabric_are_bit_identical(words, queries, data):
     assert array.stats.energy_total == fabric.stats.energy_total
 
 
-@settings(max_examples=25, deadline=None)
+@settings(deadline=None)
 @given(words=words_strategy, queries=queries_strategy,
        banks=st.integers(min_value=2, max_value=4))
 def test_multibank_fabric_matches_array(words, queries, banks):
@@ -93,7 +97,7 @@ def test_multibank_fabric_matches_array(words, queries, banks):
         assert lhs.latency == rhs.latency
 
 
-@settings(max_examples=15, deadline=None)
+@settings(deadline=None)
 @given(words=st.lists(st.text(alphabet="01X", min_size=WIDTH,
                               max_size=WIDTH), min_size=1, max_size=8),
        queries=queries_strategy)
