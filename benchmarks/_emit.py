@@ -1,0 +1,58 @@
+"""Shared JSON emitter for the benchmark suite.
+
+Every benchmark writes the same two artifacts and previously hand-rolled
+both: a full report under ``benchmarks/results/<name>.json`` (the CI
+artifact) and — for full-size default-path runs — a machine-trackable
+``BENCH_<short>.json`` at the repo root holding rows of
+``{metric, value, unit, config}`` for the perf trajectory.  This module
+owns the paths, the row schema, and the writes; each benchmark keeps
+only its own gating (mode, ``--out`` redirects) and its metric→unit
+tables.
+"""
+
+import json
+import os
+
+__all__ = ["REPO_ROOT", "RESULTS_DIR", "results_path", "repo_bench_path",
+           "rows_from", "emit"]
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+
+def results_path(name):
+    """Default CI-artifact path: ``benchmarks/results/<name>.json``."""
+    return os.path.join(RESULTS_DIR, f"{name}.json")
+
+
+def repo_bench_path(short_name):
+    """Repo-root trajectory path: ``BENCH_<short_name>.json``."""
+    return os.path.join(REPO_ROOT, f"BENCH_{short_name}.json")
+
+
+def rows_from(row, units, config):
+    """Flatten one result-row dict to ``{metric, value, unit, config}``
+    rows — one per entry of the ``units`` metric→unit table."""
+    return [{"metric": metric, "value": row[metric], "unit": unit,
+             "config": config} for metric, unit in units.items()]
+
+
+def emit(payload, bench_rows, *, results_file, root_file=None,
+         sort_keys=False):
+    """Write the results payload and (optionally) the repo-root rows.
+
+    ``root_file=None`` skips the trajectory file — callers pass it only
+    for full-size default-path runs, so a ``--tiny`` smoke or an
+    ``--out`` redirect never clobbers the tracked numbers.  Returns the
+    list of paths written.
+    """
+    os.makedirs(os.path.dirname(results_file), exist_ok=True)
+    with open(results_file, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=sort_keys)
+    paths = [results_file]
+    if root_file is not None:
+        with open(root_file, "w") as handle:
+            json.dump(bench_rows, handle, indent=2)
+        paths.append(root_file)
+    return paths

@@ -31,10 +31,10 @@ benchmarks/bench_fabric_throughput.py``).
 """
 
 import argparse
-import json
-import os
 import random
 import time
+
+import _emit
 
 from fecam.designs import DesignKind
 from fecam.fabric import TcamFabric, batch_count_matches, fused_count_matches
@@ -51,8 +51,6 @@ FULL = dict(mode="full", bank_counts=(1, 4, 16), rows_per_bank=1024,
 TINY = dict(mode="tiny", bank_counts=(4,), rows_per_bank=128,
             queries=200, batch_floor=2.0, kernel_floor=1.0, repeats=3,
             warmup=1)
-
-_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def _fast_model():
@@ -221,9 +219,7 @@ def _bench_rows(rows, sizes):
                   "width_bits": row["width_bits"],
                   "queries": row["queries"], "fill": FILL,
                   "mode": sizes["mode"]}
-        for metric, unit in units.items():
-            out.append({"metric": metric, "value": row[metric],
-                        "unit": unit, "config": config})
+        out.extend(_emit.rows_from(row, units, config))
     return out
 
 
@@ -231,25 +227,19 @@ def run(sizes, json_path=None):
     rows = [_measure(banks, sizes) for banks in sizes["bank_counts"]]
     default_paths = json_path is None
     if json_path is None:
-        json_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                                 "results", "fabric_throughput.json")
-    os.makedirs(os.path.dirname(json_path), exist_ok=True)
+        json_path = _emit.results_path("fabric_throughput")
     payload = {"benchmark": "fabric_throughput",
                "config": {"rows_per_bank": sizes["rows_per_bank"],
                           "width_bits": WIDTH, "fill": FILL,
                           "queries": sizes["queries"],
                           "mode": sizes["mode"]},
                "results": rows}
-    with open(json_path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-    paths = [json_path]
     # The repo-root trajectory file only ever holds full-size numbers:
     # a --tiny smoke (or an --out redirect) must not clobber it.
-    if sizes["mode"] == "full" and default_paths:
-        root_path = os.path.join(_REPO_ROOT, "BENCH_fabric.json")
-        with open(root_path, "w") as handle:
-            json.dump(_bench_rows(rows, sizes), handle, indent=2)
-        paths.append(root_path)
+    root_path = (_emit.repo_bench_path("fabric")
+                 if sizes["mode"] == "full" and default_paths else None)
+    paths = _emit.emit(payload, _bench_rows(rows, sizes),
+                       results_file=json_path, root_file=root_path)
     return rows, paths
 
 

@@ -37,11 +37,11 @@ benchmarks/bench_service_throughput.py``).
 """
 
 import argparse
-import json
-import os
 import random
 import threading
 import time
+
+import _emit
 
 from fecam.designs import DesignKind
 from fecam.functional import EnergyModel
@@ -56,8 +56,6 @@ FULL = dict(mode="full", banks=8, rows=4096, width=64, threads=16,
 TINY = dict(mode="tiny", banks=4, rows=256, width=32, threads=8,
             requests_per_thread=40, max_batch=64, max_wait=2e-3,
             repeats=3, floor=1.0)
-
-_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def _fast_model(width):
@@ -232,33 +230,26 @@ def _bench_rows(row, sizes):
               "threads": row["threads"], "requests": row["requests"],
               "fill": FILL, "max_batch": sizes["max_batch"],
               "max_wait_s": sizes["max_wait"], "mode": sizes["mode"]}
-    return [{"metric": metric, "value": row[metric], "unit": unit,
-             "config": config} for metric, unit in units.items()]
+    return _emit.rows_from(row, units, config)
 
 
 def run(sizes, json_path=None):
     row = _measure(sizes)
     default_paths = json_path is None
     if json_path is None:
-        json_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                                 "results", "service_throughput.json")
-    os.makedirs(os.path.dirname(json_path), exist_ok=True)
+        json_path = _emit.results_path("service_throughput")
     payload = {"benchmark": "service_throughput",
                "config": {key: sizes[key] for key in
                           ("mode", "banks", "rows", "width", "threads",
                            "requests_per_thread", "max_batch",
                            "max_wait")},
                "results": [row]}
-    with open(json_path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-    paths = [json_path]
     # The repo-root trajectory file only ever holds full-size numbers:
     # a --tiny smoke (or an --out redirect) must not clobber it.
-    if sizes["mode"] == "full" and default_paths:
-        root_path = os.path.join(_REPO_ROOT, "BENCH_service.json")
-        with open(root_path, "w") as handle:
-            json.dump(_bench_rows(row, sizes), handle, indent=2)
-        paths.append(root_path)
+    root_path = (_emit.repo_bench_path("service")
+                 if sizes["mode"] == "full" and default_paths else None)
+    paths = _emit.emit(payload, _bench_rows(row, sizes),
+                       results_file=json_path, root_file=root_path)
     return row, paths
 
 

@@ -16,11 +16,11 @@ shrinks every workload for CI smoke), or via pytest
 """
 
 import argparse
-import json
-import os
 import random
 import time
 from dataclasses import replace
+
+import _emit
 
 from fecam.apps import (HammingSearcher, Packet, Rule, SeedIndex,
                         TcamCache, TcamClassifier, TcamRouter, int_to_ip)
@@ -215,21 +215,15 @@ def _bench_rows(report):
 
 def write_report(report, path=None):
     if path is None:
-        path = os.path.join(os.path.dirname(__file__), "results",
-                            "store_api.json")
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-    print(f"wrote {path}")
+        path = _emit.results_path("store_api")
     # The repo-root trajectory file only ever holds full-size numbers:
     # a --tiny smoke must not clobber it.
-    if report["mode"] == "full":
-        root_path = os.path.normpath(
-            os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                         "..", "BENCH_store.json"))
-        with open(root_path, "w") as fh:
-            json.dump(_bench_rows(report), fh, indent=2)
-        print(f"wrote {root_path}")
+    root_path = (_emit.repo_bench_path("store")
+                 if report["mode"] == "full" else None)
+    paths = _emit.emit(report, _bench_rows(report), results_file=path,
+                       root_file=root_path, sort_keys=True)
+    for written in paths:
+        print(f"wrote {written}")
 
 
 def test_store_api_smoke():

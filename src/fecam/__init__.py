@@ -40,6 +40,14 @@ Layered public API:
   isolation (reader-writer locking, write-generation-tagged results),
   bounded-queue backpressure, sync and ``asyncio`` front doors, and
   :class:`~fecam.service.ServiceStats` telemetry.
+* :mod:`fecam.obs` — **unified observability**: one
+  :class:`~fecam.obs.MetricsRegistry` (counters/gauges/histograms)
+  folding the four stats silos into a named, labeled snapshot with
+  Prometheus text / JSON-lines exporters, an optional ``/metrics``
+  HTTP thread, sampled per-request tracing with per-stage spans
+  (queue → coalesce → lock → kernel → freeze), and a slow-query log —
+  all bundled into :class:`~fecam.obs.Observability` and accepted by
+  ``SearchService(obs=...)``.
 * :mod:`fecam.apps` — application substrates (router LPM, associative
   cache, packet classifier, genomics seed matching, Hamming /
   one-shot matching), all served by :class:`~fecam.store.CamStore`;
@@ -75,6 +83,7 @@ from . import functional  # noqa: F401
 from . import fabric  # noqa: F401
 from . import store  # noqa: F401
 from . import service  # noqa: F401
+from . import obs  # noqa: F401
 from . import apps  # noqa: F401
 from . import bench  # noqa: F401
 from .fabric import TcamFabric  # noqa: F401  (system tier, raw fabric)
@@ -91,5 +100,5 @@ __all__ = ["DesignKind", "CamStore", "StoreConfig", "Query", "Match",
            "StoreStats", "TcamFabric", "DesignPoint", "Fom", "evaluate",
            "sweep", "SearchService", "ServedResult", "ServiceStats",
            "planes", "spice", "devices", "cam", "arch", "metrics",
-           "functional", "fabric", "store", "service", "apps", "bench",
-           "__version__"]
+           "functional", "fabric", "store", "service", "obs", "apps",
+           "bench", "__version__"]

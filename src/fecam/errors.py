@@ -69,3 +69,14 @@ class ServiceOverloaded(ServiceError):
     than blocking behind an unbounded queue, and can retry, shed load,
     or route elsewhere.
     """
+
+
+class ObservabilityError(FecamError):
+    """Raised for misuse of the :mod:`fecam.obs` telemetry layer.
+
+    Examples: registering two metrics under one name with different
+    types or label sets, invalid metric/label names, or histogram
+    buckets that are not strictly increasing.  Telemetry *recording*
+    never raises this on the hot path — only registration-time
+    configuration does.
+    """

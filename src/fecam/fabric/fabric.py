@@ -18,6 +18,8 @@ for the slowest).  Batched searches go through the vectorized kernel in
 
 from __future__ import annotations
 
+import time
+
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -27,6 +29,9 @@ from ..designs import DesignKind
 from ..errors import OperationError, TernaryValueError
 from ..cam.states import normalize_query, normalize_word
 from ..functional.engine import EnergyModel, SearchStats, pack_words
+from ..obs.trace import active as trace_active
+from ..obs.trace import record_span
+from ..obs.trace import stage as trace_stage
 from ..planes import TernaryPlanes
 from .bank import CamBank
 from .batch import fused_count_matches, normalize_queries, pack_queries
@@ -484,9 +489,13 @@ class TcamFabric:
         """
         n_q = len(queries)
         q_matrix = pack_queries(queries, self.width)
-        counts = fused_count_matches(self.arena, q_matrix, mask_bits,
-                                     n_banks=self.num_banks,
-                                     rows_per_bank=self.rows_per_bank)
+        with trace_stage("kernel.fused_count_matches", queries=n_q,
+                         banks=self.num_banks):
+            counts = fused_count_matches(self.arena, q_matrix, mask_bits,
+                                         n_banks=self.num_banks,
+                                         rows_per_bank=self.rows_per_bank)
+        targets = trace_active()
+        merge_start = time.perf_counter() if targets else 0.0
         energy = np.zeros(n_q, dtype=np.float64)
         latency = np.zeros(n_q, dtype=np.float64)
         for bank in self.banks:
@@ -538,6 +547,11 @@ class TcamFabric:
         if latency_list:
             self._worst_latency = max(self._worst_latency,
                                       max(latency_list))
+        if targets:
+            # Everything after the fused kernel: per-bank accounting,
+            # match attribution, and priority-encoder ordering.
+            record_span(targets, "fabric.merge", merge_start,
+                        time.perf_counter(), queries=n_q)
         return results
 
     # -- telemetry ---------------------------------------------------------------

@@ -1,0 +1,173 @@
+"""fecam.obs — unified observability for the serving stack.
+
+One place for the three telemetry capabilities the stack previously
+lacked or scattered across four silos:
+
+* **metrics** — a process-wide :class:`MetricsRegistry` (counters,
+  gauges, histograms with explicit buckets) plus adapters that fold the
+  existing ``ServiceStats`` / ``StoreStats`` / ``FabricStats`` / engine
+  counters into one named, labeled snapshot
+  (:func:`~fecam.obs.adapters.instrument`);
+* **tracing** — sampled per-request :class:`Trace` objects with
+  per-stage spans (queue wait, coalesce wait, lock wait, kernel time,
+  result freeze) threaded through the service → store → kernel path,
+  emitted as JSON lines;
+* **export** — Prometheus text exposition
+  (:func:`~fecam.obs.export.render_prometheus`), JSON-lines dumps, an
+  optional stdlib-only HTTP ``/metrics`` thread
+  (:class:`~fecam.obs.http.MetricsServer`), and a slow-query log
+  (:class:`~fecam.obs.slowlog.SlowQueryLog`).
+
+:class:`Observability` bundles all of it behind one object a
+:class:`~fecam.service.SearchService` accepts::
+
+    from fecam.obs import Observability, Tracer, JsonLinesSink, EveryN
+
+    obs = Observability(
+        tracer=Tracer(EveryN(64), JsonLinesSink("traces.jsonl")))
+    service = SearchService(store, obs=obs)
+    obs.bind_service(service)          # fold all four stats silos in
+    server = obs.start_http()          # GET /metrics
+    print(obs.prometheus_text())
+
+When no ``obs`` is passed, the serving hot path pays a single ``None``
+check per request — observability off truly costs ~nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from . import adapters, export, http, slowlog, trace  # noqa: F401
+from .adapters import (BATCH_SIZE_BUCKETS, instrument, instrument_cam,
+                       instrument_fabric, instrument_service,
+                       instrument_store)
+from .export import lint_prometheus, render_json_lines, render_prometheus
+from .http import PROMETHEUS_CONTENT_TYPE, MetricsServer
+from .registry import (DEFAULT_LATENCY_BUCKETS, Counter, FamilySnapshot,
+                       Gauge, Histogram, HistogramValue, MetricFamily,
+                       MetricSample, MetricsRegistry)
+from .slowlog import SlowQueryLog
+from .trace import (EveryN, JsonLinesSink, SeededRandom, Span, Trace,
+                    Tracer, activated, active, record_span, stage)
+
+__all__ = [
+    # bundle
+    "Observability",
+    # registry
+    "MetricsRegistry", "MetricFamily", "Counter", "Gauge", "Histogram",
+    "HistogramValue", "MetricSample", "FamilySnapshot",
+    "DEFAULT_LATENCY_BUCKETS",
+    # adapters
+    "instrument", "instrument_service", "instrument_store",
+    "instrument_fabric", "instrument_cam", "BATCH_SIZE_BUCKETS",
+    # tracing
+    "Span", "Trace", "Tracer", "EveryN", "SeededRandom", "JsonLinesSink",
+    "activated", "active", "record_span", "stage",
+    # exporters / endpoints / slowlog
+    "render_prometheus", "render_json_lines", "lint_prometheus",
+    "MetricsServer", "PROMETHEUS_CONTENT_TYPE", "SlowQueryLog",
+]
+
+
+class Observability:
+    """Everything a service needs to be observed, in one handle.
+
+    Composes a registry, an optional tracer, and an optional slow-query
+    log; owns the ``fecam_service_request_latency_seconds`` histogram
+    the dispatcher feeds (batch-amortized via ``observe_many``) and a
+    collect hook exporting the tracer/slowlog counters.  All pieces are
+    optional: ``Observability()`` alone gives metrics with no tracing
+    and no slow-query log.
+    """
+
+    def __init__(self, *, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 slow_log: Optional[SlowQueryLog] = None,
+                 latency_buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.slow_log = slow_log
+        self.latency = self.registry.histogram(
+            "fecam_service_request_latency_seconds",
+            "End-to-end request latency (submit to completion).",
+            buckets=latency_buckets)
+        self._unregisters: List[Callable[[], None]] = []
+        self._servers: List[MetricsServer] = []
+        if tracer is not None or slow_log is not None:
+            c_sampled = self.registry.counter(
+                "fecam_service_traces_sampled_total",
+                "Requests chosen for tracing.")
+            c_finished = self.registry.counter(
+                "fecam_service_traces_finished_total",
+                "Traces completed and emitted.")
+            c_slow = self.registry.counter(
+                "fecam_service_slow_queries_total",
+                "Requests logged over the slow-query threshold.")
+
+            def hook() -> None:
+                if self.tracer is not None:
+                    c_sampled.set_total(self.tracer.sampled)
+                    c_finished.set_total(self.tracer.finished)
+                if self.slow_log is not None:
+                    c_slow.set_total(self.slow_log.count)
+
+            self._unregisters.append(self.registry.on_collect(hook))
+
+    # -- wiring --------------------------------------------------------------------
+
+    def bind_service(self, service) -> Callable[[], None]:
+        """Fold ``service`` (and its store/backend) into the registry."""
+        unregister = instrument(service, self.registry)
+        self._unregisters.append(unregister)
+        return unregister
+
+    def record_latencies(self, latencies: Sequence[float]) -> None:
+        """Record one dispatch batch of request latencies (one lock)."""
+        self.latency.observe_many(latencies)
+
+    # -- sampling shortcuts ---------------------------------------------------------
+
+    def sample(self, started: Optional[float] = None,
+               **attrs: Any) -> Optional[Trace]:
+        """Tracer passthrough: a new trace or ``None`` (also when no
+        tracer is configured)."""
+        if self.tracer is None:
+            return None
+        return self.tracer.sample(started, **attrs)
+
+    # -- export --------------------------------------------------------------------
+
+    def prometheus_text(self) -> str:
+        return render_prometheus(self.registry)
+
+    def json_lines(self) -> str:
+        return render_json_lines(self.registry)
+
+    def start_http(self, host: str = "127.0.0.1",
+                   port: int = 0) -> MetricsServer:
+        """Start a daemon ``/metrics`` thread; closed with this bundle."""
+        server = MetricsServer(self.registry, host=host, port=port)
+        self._servers.append(server)
+        return server
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop HTTP servers and detach every collect hook we added."""
+        for server in self._servers:
+            server.close()
+        self._servers.clear()
+        for unregister in self._unregisters:
+            unregister()
+        self._unregisters.clear()
+
+    def __enter__(self) -> "Observability":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Observability registry={self.registry!r} "
+                f"tracer={self.tracer!r} slow_log={self.slow_log!r}>")

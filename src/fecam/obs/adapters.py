@@ -1,0 +1,296 @@
+"""Adapters: fold the existing stats silos into one metrics registry.
+
+The stack already keeps four disconnected telemetry silos —
+:class:`~fecam.service.ServiceStats`, :class:`~fecam.store.StoreStats`,
+:class:`~fecam.fabric.FabricStats`, and the engine-level cam counters
+behind :class:`~fecam.functional.SearchStats` — each with its own
+shape.  These adapters register *collect-time hooks* that read each
+silo and mirror it into named, labeled registry series
+(``fecam_service_queue_depth``,
+``fecam_fabric_bank_occupancy{bank="3"}``, ...).  Nothing here touches
+the request path: the silos stay the source of truth, and the mirror
+refreshes only when a snapshot is collected (a scrape, a dump).
+
+:func:`instrument` is the one-call entry point: hand it a
+:class:`~fecam.service.SearchService` and it wires the service, its
+store, and the store's backend (fabric banks and cams included) in one
+go.  Every ``instrument_*`` returns an unregister callable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .registry import MetricsRegistry
+
+__all__ = ["instrument", "instrument_service", "instrument_store",
+           "instrument_fabric", "instrument_cam", "BATCH_SIZE_BUCKETS"]
+
+#: Buckets for the mirrored batch-size histogram: powers of two up to
+#: the largest max_batch anyone realistically configures.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                      256.0, 512.0, 1024.0)
+
+Unregister = Callable[[], None]
+
+
+def instrument_service(service, registry: MetricsRegistry) -> Unregister:
+    """Mirror a :class:`~fecam.service.SearchService`'s ServiceStats."""
+    c_submitted = registry.counter(
+        "fecam_service_submitted_total",
+        "Requests accepted into the service queue.")
+    c_served = registry.counter(
+        "fecam_service_served_total",
+        "Requests completed with a result.")
+    c_failed = registry.counter(
+        "fecam_service_failed_total",
+        "Requests completed with an exception.")
+    c_overloads = registry.counter(
+        "fecam_service_overloads_total",
+        "Submissions rejected by queue backpressure.")
+    c_batches = registry.counter(
+        "fecam_service_batches_total",
+        "Dispatches issued to the store.")
+    c_coalesced = registry.counter(
+        "fecam_service_coalesced_total",
+        "Requests served in a fused batch of size > 1.")
+    c_direct = registry.counter(
+        "fecam_service_direct_total",
+        "Requests that dispatched alone.")
+    c_writes = registry.counter(
+        "fecam_service_writes_total",
+        "Write transactions applied through the service.")
+    g_queue_depth = registry.gauge(
+        "fecam_service_queue_depth",
+        "Requests waiting in the queue right now.")
+    g_max_queue_depth = registry.gauge(
+        "fecam_service_max_queue_depth",
+        "High-water mark of the bounded request queue.")
+    g_pending = registry.gauge(
+        "fecam_service_pending",
+        "Requests accepted but not yet completed.")
+    g_generation = registry.gauge(
+        "fecam_service_generation",
+        "Store write-generation at the last snapshot.")
+    g_p50 = registry.gauge(
+        "fecam_service_p50_latency_seconds",
+        "Windowed median request latency (latency reservoir).")
+    g_p99 = registry.gauge(
+        "fecam_service_p99_latency_seconds",
+        "Windowed tail request latency (latency reservoir).")
+    g_uptime = registry.gauge(
+        "fecam_service_uptime_seconds",
+        "Seconds since the service was constructed.")
+    h_batch = registry.histogram(
+        "fecam_service_batch_size",
+        "Requests per dispatch batch (mirrored exact counts).",
+        buckets=BATCH_SIZE_BUCKETS)
+
+    def hook() -> None:
+        stats = service.stats
+        c_submitted.set_total(stats.submitted)
+        c_served.set_total(stats.served)
+        c_failed.set_total(stats.failed)
+        c_overloads.set_total(stats.overloads)
+        c_batches.set_total(stats.batches)
+        c_coalesced.set_total(stats.coalesced)
+        c_direct.set_total(stats.direct)
+        c_writes.set_total(stats.writes)
+        g_queue_depth.set(stats.queue_depth)
+        g_max_queue_depth.set(stats.max_queue_depth)
+        g_pending.set(stats.pending)
+        g_generation.set(stats.generation)
+        g_p50.set(stats.p50_latency)
+        g_p99.set(stats.p99_latency)
+        g_uptime.set(stats.uptime_s)
+        h_batch.load(stats.batch_size_hist.items())
+
+    return registry.on_collect(hook)
+
+
+def instrument_store(store, registry: MetricsRegistry) -> Unregister:
+    """Mirror a :class:`~fecam.store.CamStore`'s StoreStats."""
+    c_searches = registry.counter(
+        "fecam_store_searches_total",
+        "Queries answered by the store, including cache hits.")
+    c_array_searches = registry.counter(
+        "fecam_store_array_searches_total",
+        "Queries that actually fired the arrays.")
+    c_writes = registry.counter(
+        "fecam_store_writes_total",
+        "Insert/update/delete operations applied.")
+    c_cache_hits = registry.counter(
+        "fecam_store_cache_hits_total",
+        "Store-level query-cache hits.")
+    c_cache_misses = registry.counter(
+        "fecam_store_cache_misses_total",
+        "Store-level query-cache misses.")
+    c_energy = registry.counter(
+        "fecam_store_energy_joules_total",
+        "Joules spent by the arrays (searches + writes).")
+    g_occupancy = registry.gauge(
+        "fecam_store_occupancy", "Live entries in the store.")
+    g_capacity = registry.gauge(
+        "fecam_store_capacity", "Total rows across all banks.")
+    g_hit_rate = registry.gauge(
+        "fecam_store_cache_hit_rate", "Query-cache hit rate [0, 1].")
+    g_worst_latency = registry.gauge(
+        "fecam_store_worst_latency_seconds",
+        "Worst single-query array latency observed.")
+    g_generation = registry.gauge(
+        "fecam_store_generation",
+        "Monotonic write-generation of the store content.")
+
+    def hook() -> None:
+        stats = store.stats
+        c_searches.set_total(stats.searches)
+        c_array_searches.set_total(stats.array_searches)
+        c_writes.set_total(stats.writes)
+        c_cache_hits.set_total(stats.cache_hits)
+        c_cache_misses.set_total(stats.cache_misses)
+        c_energy.set_total(stats.energy_total)
+        g_occupancy.set(stats.occupancy)
+        g_capacity.set(stats.capacity)
+        g_hit_rate.set(stats.cache_hit_rate)
+        g_worst_latency.set(stats.worst_latency)
+        g_generation.set(store.generation)
+
+    return registry.on_collect(hook)
+
+
+def instrument_fabric(fabric, registry: MetricsRegistry) -> Unregister:
+    """Mirror a :class:`~fecam.fabric.TcamFabric`'s FabricStats,
+    including the per-bank telemetry behind the paper's step-1
+    early-termination story (labeled by ``bank``)."""
+    c_searches = registry.counter(
+        "fecam_fabric_searches_total",
+        "Queries answered by the fabric, including cache hits.")
+    c_array_searches = registry.counter(
+        "fecam_fabric_array_searches_total",
+        "Queries that fired the banks.")
+    c_cache_hits = registry.counter(
+        "fecam_fabric_cache_hits_total", "Fabric query-cache hits.")
+    c_cache_misses = registry.counter(
+        "fecam_fabric_cache_misses_total", "Fabric query-cache misses.")
+    c_energy = registry.counter(
+        "fecam_fabric_energy_joules_total",
+        "Joules spent across every bank.")
+    g_occupancy = registry.gauge(
+        "fecam_fabric_occupancy", "Live entries across all banks.")
+    g_worst_latency = registry.gauge(
+        "fecam_fabric_worst_latency_seconds",
+        "Worst merged search latency observed.")
+    g_bank_occupancy = registry.gauge(
+        "fecam_fabric_bank_occupancy",
+        "Live entries per bank.", labelnames=("bank",))
+    c_bank_searches = registry.counter(
+        "fecam_fabric_bank_searches_total",
+        "Searches fired per bank.", labelnames=("bank",))
+    c_bank_energy = registry.counter(
+        "fecam_fabric_bank_energy_joules_total",
+        "Joules spent per bank.", labelnames=("bank",))
+    c_rows_examined = registry.counter(
+        "fecam_fabric_rows_examined_total",
+        "Rows examined per bank across all searches.",
+        labelnames=("bank",))
+    c_step1_eliminated = registry.counter(
+        "fecam_fabric_step1_eliminated_total",
+        "Rows resolved by step 1 per bank (early termination).",
+        labelnames=("bank",))
+    g_step1_miss_rate = registry.gauge(
+        "fecam_fabric_step1_miss_rate",
+        "Step-1 miss rate per bank [0, 1].", labelnames=("bank",))
+
+    def hook() -> None:
+        stats = fabric.stats
+        c_searches.set_total(stats.searches)
+        c_array_searches.set_total(stats.array_searches)
+        c_cache_hits.set_total(stats.cache_hits)
+        c_cache_misses.set_total(stats.cache_misses)
+        c_energy.set_total(stats.energy_total)
+        g_occupancy.set(stats.occupancy)
+        g_worst_latency.set(stats.worst_latency)
+        for bank in stats.per_bank:
+            label = str(bank.bank_id)
+            g_bank_occupancy.labels(bank=label).set(bank.occupancy)
+            c_bank_searches.labels(bank=label).set_total(bank.searches)
+            c_bank_energy.labels(bank=label).set_total(bank.energy)
+            c_rows_examined.labels(bank=label).set_total(
+                bank.rows_examined)
+            c_step1_eliminated.labels(bank=label).set_total(
+                bank.step1_eliminated)
+            g_step1_miss_rate.labels(bank=label).set(
+                bank.step1_miss_rate)
+
+    return registry.on_collect(hook)
+
+
+def instrument_cam(cam, registry: MetricsRegistry,
+                   bank: int = 0) -> Unregister:
+    """Mirror one :class:`~fecam.functional.TernaryCAM`'s cumulative
+    engine counters (the silo behind every per-search
+    :class:`~fecam.functional.SearchStats`)."""
+    c_searches = registry.counter(
+        "fecam_cam_searches_total",
+        "Array searches executed by the engine.", labelnames=("bank",))
+    c_writes = registry.counter(
+        "fecam_cam_writes_total",
+        "Row writes executed by the engine.", labelnames=("bank",))
+    c_energy = registry.counter(
+        "fecam_cam_energy_joules_total",
+        "Joules the engine charged this array.", labelnames=("bank",))
+    label = str(bank)
+
+    def hook() -> None:
+        c_searches.labels(bank=label).set_total(cam.search_count)
+        c_writes.labels(bank=label).set_total(cam.write_count)
+        c_energy.labels(bank=label).set_total(cam.energy_spent)
+
+    return registry.on_collect(hook)
+
+
+def instrument(obj, registry: MetricsRegistry) -> Unregister:
+    """Wire a whole serving object graph into ``registry``.
+
+    Dispatches on type and recurses: a service instruments itself plus
+    its store; a store instruments itself plus its backend (a fabric
+    brings every bank's cam along).  Returns one unregister callable
+    covering everything wired.
+    """
+    # Imports are local so `fecam.obs` never circularly imports the
+    # layers it observes (they import `fecam.obs.trace` for spans).
+    from ..functional.engine import TernaryCAM
+    from ..fabric.fabric import TcamFabric
+    from ..service.service import SearchService
+    from ..store.array import ArrayBackend
+    from ..store.fabric import FabricBackend
+    from ..store.store import CamStore
+
+    unregisters: List[Unregister] = []
+    if isinstance(obj, SearchService):
+        unregisters.append(instrument_service(obj, registry))
+        unregisters.append(instrument(obj.store, registry))
+    elif isinstance(obj, CamStore):
+        unregisters.append(instrument_store(obj, registry))
+        backend = obj.backend
+        if isinstance(backend, FabricBackend):
+            unregisters.append(instrument(backend.fabric, registry))
+        elif isinstance(backend, ArrayBackend):
+            unregisters.append(instrument_cam(backend.cam, registry))
+    elif isinstance(obj, TcamFabric):
+        unregisters.append(instrument_fabric(obj, registry))
+        for bank in obj.banks:
+            unregisters.append(
+                instrument_cam(bank.cam, registry, bank=bank.bank_id))
+    elif isinstance(obj, TernaryCAM):
+        unregisters.append(instrument_cam(obj, registry))
+    else:
+        raise TypeError(
+            f"cannot instrument {type(obj).__name__}; expected a "
+            f"SearchService, CamStore, TcamFabric, or TernaryCAM")
+
+    def unregister_all() -> None:
+        for unregister in unregisters:
+            unregister()
+
+    return unregister_all

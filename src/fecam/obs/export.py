@@ -1,0 +1,302 @@
+"""Exporters: Prometheus text exposition, JSON lines, and a linter.
+
+:func:`render_prometheus` turns a registry snapshot into the text
+exposition format (version 0.0.4) any Prometheus-compatible scraper
+ingests; :func:`render_json_lines` emits one JSON object per sample for
+log pipelines and the autotuner's offline analysis; and
+:func:`lint_prometheus` is a dependency-free subset of ``promtool
+check metrics`` — the CI gate that keeps the exposition format honest
+without installing promtool.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import time
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .registry import (FamilySnapshot, HistogramValue, MetricsRegistry,
+                       MetricSample)
+
+__all__ = ["render_prometheus", "render_json_lines", "lint_prometheus"]
+
+_SnapshotSource = Union[MetricsRegistry, Sequence[FamilySnapshot]]
+
+
+def _families(source: _SnapshotSource) -> Sequence[FamilySnapshot]:
+    if isinstance(source, MetricsRegistry):
+        return source.collect()
+    return source
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Iterable[Tuple[str, str]]) -> str:
+    pairs = [f'{name}="{_escape_label(value)}"' for name, value in labels]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _sample_line(name: str, labels: Iterable[Tuple[str, str]],
+                 value: float) -> str:
+    return f"{name}{_format_labels(labels)} {_format_value(value)}"
+
+
+def render_prometheus(source: _SnapshotSource) -> str:
+    """Render a snapshot (or live registry) as Prometheus text format.
+
+    Histograms expand to the conventional ``_bucket{le=...}`` series
+    (cumulative, ``+Inf`` last) plus ``_sum`` and ``_count``.
+    """
+    lines: List[str] = []
+    for family in _families(source):
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples:
+            if isinstance(sample.value, HistogramValue):
+                for bound, count in sample.value.buckets:
+                    le = ("+Inf" if bound == math.inf
+                          else _format_value(bound))
+                    labels = tuple(sample.labels) + (("le", le),)
+                    lines.append(_sample_line(
+                        family.name + "_bucket", labels, count))
+                lines.append(_sample_line(
+                    family.name + "_sum", sample.labels, sample.value.sum))
+                lines.append(_sample_line(
+                    family.name + "_count", sample.labels,
+                    sample.value.count))
+            else:
+                lines.append(_sample_line(
+                    family.name, sample.labels, sample.value))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_json_lines(source: _SnapshotSource, *,
+                      timestamp: Optional[float] = None) -> str:
+    """One JSON object per sample: the metric dump for log pipelines.
+
+    Histogram buckets are ``[le, cumulative_count]`` pairs with ``le``
+    as a string (``"+Inf"`` for the overflow) so the document stays
+    valid JSON — the schema is explicit and round-trippable, unlike a
+    naive ``json.dumps`` of float-keyed dicts.
+    """
+    ts = time.time() if timestamp is None else timestamp
+    lines: List[str] = []
+    for family in _families(source):
+        for sample in family.samples:
+            row: Dict[str, object] = {
+                "ts": ts, "name": family.name, "type": family.kind,
+                "labels": dict(sample.labels)}
+            if isinstance(sample.value, HistogramValue):
+                row["sum"] = sample.value.sum
+                row["count"] = sample.value.count
+                row["buckets"] = [
+                    ["+Inf" if bound == math.inf else _format_value(bound),
+                     count]
+                    for bound, count in sample.value.buckets]
+            else:
+                row["value"] = sample.value
+            lines.append(json.dumps(row, sort_keys=True,
+                                    separators=(",", ":")))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- exposition-format linter --------------------------------------------------
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP ({_NAME})(?: (.*))?$")
+_TYPE_RE = re.compile(rf"^# TYPE ({_NAME}) (\w+)$")
+_SAMPLE_RE = re.compile(
+    rf"^({_NAME})(\{{.*\}})? (\S+)(?: (-?\d+))?$")
+_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_VALID_TYPES = frozenset(
+    {"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+def _parse_value(text: str) -> Optional[float]:
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _parse_labels(text: str) -> Optional[List[Tuple[str, str]]]:
+    """Parse a ``{name="value",...}`` block; None on malformed syntax."""
+    body = text[1:-1]
+    if not body:
+        return []
+    labels: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(body):
+        match = _LABEL_RE.match(body, pos)
+        if match is None:
+            return None
+        labels.append((match.group(1), match.group(2)))
+        pos = match.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                return None
+            pos += 1
+    return labels
+
+
+def _base_name(name: str, kind: Optional[str]) -> str:
+    if kind == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+    return name
+
+
+def lint_prometheus(text: str) -> List[str]:
+    """Validate Prometheus text exposition; returns error strings.
+
+    Promtool-free CI gate.  Checks, per the exposition-format spec:
+
+    * every line is a ``# HELP``/``# TYPE`` comment, blank, or a sample;
+    * ``# TYPE`` names a valid type, appears at most once per metric,
+      and precedes that metric's samples;
+    * sample names/labels are well-formed and values parse as floats
+      (``+Inf``/``-Inf``/``NaN`` included);
+    * every sample belongs to a declared family (strict: we only lint
+      text we generate, which always declares);
+    * histogram series use only ``_bucket``/``_sum``/``_count``
+      suffixes, ``_bucket`` carries an ``le`` label, each label set has
+      a ``+Inf`` bucket, bucket counts are cumulative (non-decreasing),
+      and ``_count`` equals the ``+Inf`` bucket.
+
+    An empty list means the exposition is clean.
+    """
+    errors: List[str] = []
+    types: Dict[str, str] = {}
+    seen_samples: set = set()
+    # histogram name -> label-key -> {"buckets": [(le, v)], "count": v}
+    histograms: Dict[str, Dict[Tuple[Tuple[str, str], ...], Dict]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if _HELP_RE.match(line):
+                continue
+            type_match = _TYPE_RE.match(line)
+            if type_match:
+                name, kind = type_match.groups()
+                if kind not in _VALID_TYPES:
+                    errors.append(
+                        f"line {lineno}: invalid type {kind!r} for {name}")
+                elif name in types:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {name}")
+                elif name in seen_samples:
+                    errors.append(
+                        f"line {lineno}: TYPE for {name} after its "
+                        f"samples")
+                else:
+                    types[name] = kind
+                continue
+            errors.append(f"line {lineno}: malformed comment: {line!r}")
+            continue
+
+        sample = _SAMPLE_RE.match(line)
+        if sample is None:
+            errors.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name, label_block, value_text, _ts = sample.groups()
+        labels = _parse_labels(label_block) if label_block else []
+        if labels is None:
+            errors.append(
+                f"line {lineno}: malformed labels: {label_block!r}")
+            continue
+        label_names = [label for label, _ in labels]
+        if len(set(label_names)) != len(label_names):
+            errors.append(f"line {lineno}: duplicate label names in "
+                          f"{label_block!r}")
+        value = _parse_value(value_text)
+        if value is None:
+            errors.append(
+                f"line {lineno}: unparseable value {value_text!r}")
+            continue
+
+        kind = None
+        base = name
+        for candidate, candidate_kind in types.items():
+            if _base_name(name, candidate_kind) == candidate \
+                    and (name == candidate
+                         or candidate_kind == "histogram"):
+                kind, base = candidate_kind, candidate
+                break
+        if kind is None:
+            errors.append(
+                f"line {lineno}: sample {name} has no preceding TYPE")
+            continue
+        seen_samples.add(base)
+
+        if kind == "histogram":
+            suffix = name[len(base):]
+            if suffix not in ("_bucket", "_sum", "_count"):
+                errors.append(
+                    f"line {lineno}: histogram {base} sample with "
+                    f"invalid suffix {suffix!r}")
+                continue
+            plain = tuple(sorted((k, v) for k, v in labels if k != "le"))
+            series = histograms.setdefault(base, {}).setdefault(
+                plain, {"buckets": [], "count": None})
+            if suffix == "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(
+                        f"line {lineno}: {name} bucket without le label")
+                    continue
+                series["buckets"].append((le, value, lineno))
+            elif suffix == "_count":
+                series["count"] = (value, lineno)
+
+    for base, by_labels in histograms.items():
+        for plain, series in by_labels.items():
+            buckets = series["buckets"]
+            if not any(le == "+Inf" for le, _, _ in buckets):
+                errors.append(
+                    f"histogram {base}{dict(plain)}: no +Inf bucket")
+            counts = [count for _, count, _ in buckets]
+            if any(b > a for b, a in zip(counts, counts[1:])):
+                errors.append(
+                    f"histogram {base}{dict(plain)}: bucket counts "
+                    f"not cumulative: {counts}")
+            if series["count"] is not None and buckets:
+                inf_counts = [count for le, count, _ in buckets
+                              if le == "+Inf"]
+                if inf_counts and series["count"][0] != inf_counts[-1]:
+                    errors.append(
+                        f"histogram {base}{dict(plain)}: _count "
+                        f"{series['count'][0]} != +Inf bucket "
+                        f"{inf_counts[-1]}")
+    return errors

@@ -1,0 +1,102 @@
+"""A stdlib ``/metrics`` endpoint for any :class:`MetricsRegistry`.
+
+One daemon thread runs a :class:`http.server.ThreadingHTTPServer`
+serving
+
+* ``GET /metrics``       — Prometheus text exposition (0.0.4);
+* ``GET /metrics.json``  — the JSON-lines metric dump;
+
+anything else is a 404.  Each request collects a fresh snapshot, so a
+scraper always sees current values; the serving hot path is untouched
+(adapters fold the stats silos in at collect time).
+
+>>> from fecam.obs import MetricsRegistry, MetricsServer
+>>> registry = MetricsRegistry()
+>>> registry.counter("demo_total", "Demo.").inc()
+>>> with MetricsServer(registry) as server:     # doctest: +SKIP
+...     print(server.url)                       # curl this
+http://127.0.0.1:43123/metrics
+"""
+
+from __future__ import annotations
+
+import threading
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .export import render_json_lines, render_prometheus
+from .registry import MetricsRegistry
+
+__all__ = ["MetricsServer", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve a registry over HTTP from a daemon thread.
+
+    ``port=0`` (default) binds an ephemeral port — read it back from
+    :attr:`port` / :attr:`url`.  ``close()`` (or the context manager)
+    shuts the listener down; the server never outlives the process
+    anyway (daemon thread).
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.registry = registry
+
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:
+                path = self.path.split("?", 1)[0]
+                if path in ("/metrics", "/metrics/"):
+                    body = render_prometheus(outer.registry).encode()
+                    content_type = PROMETHEUS_CONTENT_TYPE
+                elif path == "/metrics.json":
+                    body = render_json_lines(outer.registry).encode()
+                    content_type = "application/json; charset=utf-8"
+                else:
+                    self.send_error(404, "try /metrics or /metrics.json")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # pragma: no cover
+                pass  # scrapes must not spam the serving process's logs
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="fecam-metrics-http", daemon=True)
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join()
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<MetricsServer {self.url}>"

@@ -1,0 +1,66 @@
+"""Slow-query log: JSON lines for requests over a latency threshold.
+
+The p99 gauge says *that* the tail is bad; the slow-query log says
+*which requests* are in it — bits, mask, the batch they rode, the
+write-generation they observed, and how long they actually took.  The
+dispatcher checks the threshold per completed request (one float
+compare when configured, nothing when not) and emits one JSON object
+per offender.
+"""
+
+from __future__ import annotations
+
+import time
+
+from typing import Any, Dict, Hashable, Optional
+
+from .trace import JsonLinesSink
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Log requests whose end-to-end latency reaches ``threshold_s``.
+
+    Entries are JSON lines with stable keys::
+
+        {"ts": float,            # wall clock at completion
+         "bits": str, "mask": str | null,
+         "latency_s": float, "threshold_s": float,
+         "generation": int,      # store write-generation observed
+         "batch_size": int,      # how many co-riders shared the drain
+         "matches": int}
+
+    ``count`` tracks entries written (exported as
+    ``fecam_service_slow_queries_total`` when bundled into an
+    :class:`~fecam.obs.Observability`).
+    """
+
+    def __init__(self, threshold_s: float, sink: JsonLinesSink):
+        if threshold_s < 0:
+            raise ValueError(
+                f"slow-query threshold must be >= 0, got {threshold_s}")
+        self.threshold_s = threshold_s
+        self.sink = sink
+        self.count = 0
+
+    def record(self, *, bits: str, mask: Optional[str], latency: float,
+               generation: int, batch_size: int, matches: int,
+               extra: Optional[Dict[str, Any]] = None) -> bool:
+        """Log one completed request if it is slow; returns whether."""
+        if latency < self.threshold_s:
+            return False
+        entry: Dict[str, Any] = {
+            "ts": time.time(), "bits": bits, "mask": mask,
+            "latency_s": latency, "threshold_s": self.threshold_s,
+            "generation": generation, "batch_size": batch_size,
+            "matches": matches}
+        if extra:
+            entry.update(extra)
+        self.sink.write(entry)
+        self.count += 1
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<SlowQueryLog threshold={self.threshold_s * 1e3:.3f}ms "
+                f"count={self.count}>")

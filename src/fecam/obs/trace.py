@@ -1,0 +1,361 @@
+"""Sampled structured tracing for the serving stack.
+
+A :class:`Trace` is one request's timeline: a root ``request`` span
+plus per-stage child spans (queue wait, coalesce wait, lock wait,
+kernel time, result freeze) recorded by the layers a request passes
+through.  Traces are *sampled* — a :class:`Tracer` decides 1-in-N at
+submission, and unsampled requests carry no trace at all, so the fast
+path's only cost is a ``None`` check.
+
+Layers below the service do not take a trace argument: the dispatcher
+*activates* the sampled traces of a dispatch around its store call
+(:func:`activated`), and instrumented code down the stack
+(``CamStore.search_batch``, the fused arena kernel) records stage spans
+into whatever is active via :func:`record_span` / :func:`stage` — a
+thread-local lookup that costs one attribute read when tracing is off.
+
+Finished traces are emitted as JSON lines (:class:`JsonLinesSink`),
+one object per trace, with every span as a start-offset/duration pair
+relative to the request's submission — the workload-trace format the
+ROADMAP's autotuner consumes (query bits, batch size, generation, and
+per-stage timings per sampled request).
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+import random
+import threading
+import time
+
+from contextlib import contextmanager
+from typing import (Any, Callable, Dict, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
+
+__all__ = ["Span", "Trace", "Tracer", "EveryN", "SeededRandom",
+           "JsonLinesSink", "activated", "active", "record_span", "stage"]
+
+ROOT_SPAN_NAME = "request"
+
+
+class Span:
+    """One named interval inside a trace.
+
+    ``start``/``end`` are ``time.perf_counter()`` readings (the same
+    clock the service's latency accounting uses), so span arithmetic
+    against the request's end-to-end latency is exact.  ``end`` is
+    ``None`` while the span is open.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 start: float, end: Optional[float] = None,
+                 attrs: Optional[Dict[str, Any]] = None):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end = end
+        self.attrs = attrs if attrs is not None else {}
+
+    def close(self, end: Optional[float] = None) -> "Span":
+        self.end = time.perf_counter() if end is None else end
+        return self
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Span #{self.span_id} {self.name} parent={self.parent_id} "
+                f"dur={self.duration * 1e6:.1f}us>")
+
+
+class Trace:
+    """One sampled request's spans, rooted at a ``request`` span.
+
+    Span ids are allocated per trace starting at 1 (the root); a span's
+    ``parent_id`` defaults to the root, so stage spans recorded by any
+    layer nest under the request without the layers knowing each other.
+    """
+
+    def __init__(self, trace_id: int, started: Optional[float] = None,
+                 **attrs: Any):
+        self.trace_id = trace_id
+        self.started_wall = time.time()
+        self._lock = threading.Lock()
+        self._next_id = 2  # 1 is the root
+        start = time.perf_counter() if started is None else started
+        self.root = Span(1, None, ROOT_SPAN_NAME, start, attrs=dict(attrs))
+        self.spans: List[Span] = [self.root]
+
+    @property
+    def root_id(self) -> int:
+        return self.root.span_id
+
+    def open(self, name: str, start: Optional[float] = None,
+             parent_id: Optional[int] = None, **attrs: Any) -> Span:
+        """Begin a span; close it with :meth:`Span.close`."""
+        if start is None:
+            start = time.perf_counter()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            span = Span(span_id, self.root.span_id
+                        if parent_id is None else parent_id,
+                        name, start, attrs=dict(attrs) if attrs else None)
+            self.spans.append(span)
+        return span
+
+    def record(self, name: str, start: float, end: float,
+               parent_id: Optional[int] = None, **attrs: Any) -> Span:
+        """Record an already-measured interval as one closed span."""
+        return self.open(name, start, parent_id, **attrs).close(end)
+
+    def finish(self, end: Optional[float] = None) -> "Trace":
+        self.root.close(end)
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.root.end is not None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form: offsets/durations in seconds from the root.
+
+        Schema (one object per trace, stable keys)::
+
+            {"trace_id": int, "ts": float,        # wall clock at submit
+             "duration_s": float,                  # root span = e2e
+             "attrs": {...},                       # request attributes
+             "spans": [{"id": int, "parent": int | None, "name": str,
+                        "start_s": float,          # offset from submit
+                        "duration_s": float,
+                        "attrs": {...}}, ...]}     # omitted when empty
+        """
+        t0 = self.root.start
+        spans = []
+        with self._lock:
+            snapshot = list(self.spans)
+        for span in snapshot:
+            row: Dict[str, Any] = {
+                "id": span.span_id, "parent": span.parent_id,
+                "name": span.name, "start_s": span.start - t0,
+                "duration_s": span.duration}
+            if span.attrs:
+                row["attrs"] = span.attrs
+            spans.append(row)
+        return {"trace_id": self.trace_id, "ts": self.started_wall,
+                "duration_s": self.root.duration,
+                "attrs": self.root.attrs, "spans": spans}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "finished" if self.finished else "open"
+        return (f"<Trace #{self.trace_id} {state} "
+                f"spans={len(self.spans)}>")
+
+
+# -- samplers ------------------------------------------------------------------
+
+
+class EveryN:
+    """Deterministic 1-in-N sampler: fires on request 0, N, 2N, ...
+
+    ``EveryN(1)`` traces everything (tests, short repros);
+    the counter is an :class:`itertools.count`, so concurrent
+    submitters never double-sample a slot.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"sampling period must be >= 1, got {n}")
+        self.n = n
+        self._counter = itertools.count()
+
+    def __call__(self) -> bool:
+        return next(self._counter) % self.n == 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"EveryN({self.n})"
+
+
+class SeededRandom:
+    """Bernoulli sampler with a seeded, reproducible decision stream.
+
+    Two samplers built with the same ``(rate, seed)`` make identical
+    decisions for the same request sequence — the property the sampling
+    determinism tests pin.
+    """
+
+    def __init__(self, rate: float, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def __call__(self) -> bool:
+        return self._rng.random() < self.rate
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SeededRandom(rate={self.rate}, seed={self.seed})"
+
+
+# -- sinks ---------------------------------------------------------------------
+
+
+class JsonLinesSink:
+    """Append JSON objects, one per line, to a path or file object.
+
+    Thread-safe; every ``write`` flushes, so a reader (the autotuner, a
+    tail -f) sees complete lines as they land.  ``count`` is the number
+    of objects written.
+    """
+
+    def __init__(self, target: Union[str, "io.TextIOBase"],
+                 mode: str = "w"):
+        self._lock = threading.Lock()
+        if isinstance(target, str):
+            self._file = open(target, mode)
+            self._owns = True
+            self.path: Optional[str] = target
+        else:
+            self._file = target
+            self._owns = False
+            self.path = getattr(target, "name", None)
+        self.count = 0
+
+    def write(self, obj: Dict[str, Any]) -> None:
+        line = json.dumps(obj, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            self._file.write(line + "\n")
+            self._file.flush()
+            self.count += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns:
+                self._file.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- tracer --------------------------------------------------------------------
+
+
+class Tracer:
+    """Decides which requests are traced and where traces go.
+
+    ``sampler`` is any zero-argument callable returning ``bool``
+    (:class:`EveryN`, :class:`SeededRandom`, or your own); ``sink``
+    receives every finished trace's :meth:`Trace.as_dict`.  The
+    telemetry counters (``sampled``/``finished``) feed the registry via
+    the Observability bundle's collect hook.
+    """
+
+    def __init__(self, sampler: Optional[Callable[[], bool]] = None,
+                 sink: Optional[JsonLinesSink] = None, *,
+                 sample_every: int = 128):
+        self.sampler = sampler if sampler is not None else EveryN(sample_every)
+        self.sink = sink
+        self.sampled = 0
+        self.finished = 0
+        self._ids = itertools.count(1)
+
+    def sample(self, started: Optional[float] = None,
+               **attrs: Any) -> Optional[Trace]:
+        """One sampling decision: a new :class:`Trace` or ``None``.
+
+        ``started`` pins the root span's start (a ``perf_counter``
+        reading) so stage arithmetic lines up exactly with the caller's
+        own latency accounting.
+        """
+        if not self.sampler():
+            return None
+        return self.begin(started, **attrs)
+
+    def begin(self, started: Optional[float] = None,
+              **attrs: Any) -> Trace:
+        """Start a trace unconditionally (the sampler already fired).
+
+        Hot callers invoke ``tracer.sampler()`` inline and only pay
+        this call on a positive decision — :meth:`sample` is the
+        one-call convenience for everyone else.
+        """
+        self.sampled += 1
+        return Trace(next(self._ids), started, **attrs)
+
+    def finish(self, trace: Trace, end: Optional[float] = None) -> None:
+        """Close the root span and emit the trace to the sink."""
+        trace.finish(end)
+        self.finished += 1
+        if self.sink is not None:
+            self.sink.write(trace.as_dict())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Tracer sampler={self.sampler!r} sampled={self.sampled} "
+                f"finished={self.finished}>")
+
+
+# -- active-trace threading ----------------------------------------------------
+
+_ACTIVE = threading.local()
+
+#: One activation target: a trace plus the span id that lower-layer
+#: stage spans should parent to.
+Target = Tuple[Trace, int]
+
+
+def active() -> Tuple[Target, ...]:
+    """The traces currently activated on this thread (usually empty)."""
+    return getattr(_ACTIVE, "targets", ())
+
+
+@contextmanager
+def activated(targets: Sequence[Target]) -> Iterator[None]:
+    """Make ``targets`` the active traces for the enclosed block.
+
+    The service dispatcher activates a dispatch group's sampled traces
+    around its ``store.search_batch`` call; everything the store and
+    kernel record inside lands on each of them, parented to the span id
+    the dispatcher chose (its own ``kernel`` span).
+    """
+    previous = getattr(_ACTIVE, "targets", ())
+    _ACTIVE.targets = tuple(targets)
+    try:
+        yield
+    finally:
+        _ACTIVE.targets = previous
+
+
+def record_span(targets: Sequence[Target], name: str, start: float,
+                end: float, **attrs: Any) -> None:
+    """Record one measured interval into every target trace."""
+    for trace, parent_id in targets:
+        trace.record(name, start, end, parent_id=parent_id, **attrs)
+
+
+@contextmanager
+def stage(name: str, **attrs: Any) -> Iterator[None]:
+    """Time the enclosed block as a stage span on every active trace.
+
+    When nothing is active this is a no-op beyond one thread-local
+    read — instrumented layers call it once per *batch*, so the
+    untraced hot path pays nanoseconds per dispatch, not per request.
+    """
+    targets = active()
+    if not targets:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        record_span(targets, name, start, time.perf_counter(), **attrs)

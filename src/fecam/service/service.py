@@ -45,15 +45,19 @@ import time
 from collections import Counter, OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
-from typing import (Any, Callable, Hashable, List, Optional, Sequence,
-                    Tuple, Union)
+from typing import (TYPE_CHECKING, Any, Callable, Hashable, List, Optional,
+                    Sequence, Tuple, Union)
 
 from ..errors import OperationError, ServiceClosed, ServiceOverloaded
 from ..fabric.batch import normalize_queries
+from ..obs.trace import Trace, activated
 from ..store import CamStore
 from ..store.result import Match, Query, QueryResult
 from .locks import RWLock
 from .stats import LatencyReservoir, ServiceStats
+
+if TYPE_CHECKING:  # avoid importing the full obs package eagerly
+    from ..obs import Observability
 
 __all__ = ["SearchService", "ServedResult"]
 
@@ -86,14 +90,15 @@ class ServedResult:
 class _Pending:
     """One enqueued request (slotted: the queue churns at request rate)."""
 
-    __slots__ = ("bits", "mask", "future", "enqueued_at")
+    __slots__ = ("bits", "mask", "future", "enqueued_at", "trace")
 
     def __init__(self, bits: str, mask: Optional[str], future: "Future",
-                 enqueued_at: float):
+                 enqueued_at: float, trace: Optional[Trace] = None):
         self.bits = bits
         self.mask = mask
         self.future = future
         self.enqueued_at = enqueued_at
+        self.trace = trace
 
 
 class SearchService:
@@ -125,11 +130,20 @@ class SearchService:
         pin batch composition — then call :meth:`start`.
     latency_window:
         Size of the latency reservoir behind the p50/p99 stats.
+    obs:
+        An optional :class:`~fecam.obs.Observability` bundle.  When set,
+        the dispatcher feeds its request-latency histogram (one lock per
+        drained batch), honors its sampled tracer (per-stage spans:
+        ``queue``, ``coalesce``, ``lock_wait``, ``kernel``, ``freeze``),
+        and checks its slow-query log threshold per completed request.
+        When ``None`` (default), the request path pays a single ``None``
+        check — observability off costs nothing measurable.
     """
 
     def __init__(self, store: CamStore, *, max_batch: int = 64,
                  max_wait: float = 0.0, max_queue: int = 1024,
-                 start: bool = True, latency_window: int = 4096):
+                 start: bool = True, latency_window: int = 4096,
+                 obs: "Optional[Observability]" = None):
         if max_batch < 1:
             raise OperationError("max_batch must be at least 1")
         if max_queue < 1:
@@ -159,6 +173,19 @@ class SearchService:
         self._direct = 0
         self._writes = 0
         self._latencies = LatencyReservoir(latency_window)
+        self._obs = obs
+        # Cached so the submit path's tracing gate is one slot load +
+        # None check — identical work whether obs is absent or
+        # metrics-only (the <1% disabled-overhead budget is ~a couple
+        # hundred ns per request on slow hosts).
+        self._tracer = obs.tracer if obs is not None else None
+        self._started_wall = time.time()
+        self._started_mono = time.perf_counter()
+        # Dispatcher-thread-only drain timestamps (stage-span inputs):
+        # when the wait loop saw work, and when the drain finished
+        # popping.  Single dispatcher thread, so plain attributes.
+        self._drain_wake = self._started_mono
+        self._drain_end = self._started_mono
         if start:
             self.start()
 
@@ -209,9 +236,12 @@ class SearchService:
             self._wakeup.notify_all()
             thread = self._thread
         for pending in rejected:
-            self._complete_error(pending.future,
-                                 ServiceClosed("service closed before "
-                                               "this request dispatched"))
+            error = ServiceClosed("service closed before "
+                                  "this request dispatched")
+            if pending.trace is not None:
+                pending.trace.root.attrs["error"] = repr(error)
+                self._obs.tracer.finish(pending.trace)
+            self._complete_error(pending.future, error)
         if thread is not None:
             thread.join(timeout)
             return not thread.is_alive()
@@ -246,21 +276,44 @@ class SearchService:
                 "the query's own mask conflicts with the mask argument")
         effective_mask = query.mask if query.mask is not None else mask
         future: "Future[ServedResult]" = Future()
-        pending = _Pending(bits, effective_mask, future,
-                           time.perf_counter())
-        with self._mutex:
-            if self._closed:
-                raise ServiceClosed("service is closed")
-            if len(self._queue) >= self.max_queue:
-                self._overloads += 1
-                raise ServiceOverloaded(
-                    f"request queue is full ({self.max_queue} pending)")
-            self._queue.append(pending)
-            self._submitted += 1
-            depth = len(self._queue)
-            if depth > self._max_queue_depth:
-                self._max_queue_depth = depth
-            self._wakeup.notify_all()
+        enqueued_at = time.perf_counter()
+        trace = None
+        tracer = self._tracer
+        if tracer is not None and tracer.sampler():
+            # The root span starts at enqueue, on the same clock as the
+            # latency accounting, so stage durations sum to the e2e
+            # latency the caller observes.  Gated on the tracer, not
+            # just on obs: metrics-only observability must not pay the
+            # sampling call per request — and the sampler is invoked
+            # inline so an unsampled request pays one call, not two,
+            # and builds no attrs dict.
+            trace = tracer.begin(enqueued_at)
+            trace.root.attrs["bits"] = bits
+            trace.root.attrs["mask"] = effective_mask
+        pending = _Pending(bits, effective_mask, future, enqueued_at,
+                           trace)
+        try:
+            with self._mutex:
+                if self._closed:
+                    raise ServiceClosed("service is closed")
+                if len(self._queue) >= self.max_queue:
+                    self._overloads += 1
+                    raise ServiceOverloaded(
+                        f"request queue is full "
+                        f"({self.max_queue} pending)")
+                self._queue.append(pending)
+                self._submitted += 1
+                depth = len(self._queue)
+                if depth > self._max_queue_depth:
+                    self._max_queue_depth = depth
+                self._wakeup.notify_all()
+        except (ServiceClosed, ServiceOverloaded) as exc:
+            if trace is not None:
+                # Rejected before dispatch: still emit the trace so
+                # sampled == finished holds for the tracer's counters.
+                trace.root.attrs["error"] = repr(exc)
+                self._obs.tracer.finish(trace)
+            raise
         return future
 
     def submit_many(self, queries: Sequence[Union[Query, str]],
@@ -356,6 +409,8 @@ class SearchService:
                 self._wakeup.wait()
             if not self._queue:
                 return None  # closed and drained: dispatcher exits
+            if self._obs is not None:
+                self._drain_wake = time.perf_counter()
             if self.max_wait > 0 and not self._closed \
                     and len(self._queue) < self.max_batch:
                 deadline = time.monotonic() + self.max_wait
@@ -366,7 +421,10 @@ class SearchService:
                         break
                     self._wakeup.wait(remaining)
             n = min(self.max_batch, len(self._queue))
-            return [self._queue.popleft() for _ in range(n)]
+            batch = [self._queue.popleft() for _ in range(n)]
+            if self._obs is not None:
+                self._drain_end = time.perf_counter()
+            return batch
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -383,20 +441,62 @@ class SearchService:
         applies a single mask per batch), all inside one read-lock hold
         so every result of the dispatch reports the same generation.
         """
+        obs = self._obs
+        traced = ([pending for pending in batch
+                   if pending.trace is not None]
+                  if obs is not None and obs.tracer is not None else [])
         groups: "OrderedDict[Optional[str], List[_Pending]]" = OrderedDict()
         for pending in batch:
             groups.setdefault(pending.mask, []).append(pending)
         outcomes: List[Tuple[List[_Pending], Optional[BaseException],
                              Optional[List[QueryResult]]]] = []
         with self._rw.read_locked():
+            if traced:
+                # Pre-kernel stages per sampled request: queue wait
+                # (enqueue until the dispatcher saw work), coalesce wait
+                # (until the drain popped), and the read-lock wait.
+                # Requests that arrived mid-window clamp to their own
+                # enqueue time.
+                t_locked = time.perf_counter()
+                for pending in traced:
+                    wake = max(pending.enqueued_at, self._drain_wake)
+                    popped = max(wake, self._drain_end)
+                    pending.trace.record("queue", pending.enqueued_at,
+                                         wake)
+                    pending.trace.record("coalesce", wake, popped)
+                    pending.trace.record("lock_wait", popped, t_locked)
             generation = self.store.generation
             for mask, group in groups.items():
+                # Each sampled request gets a "kernel" span covering its
+                # group's fused store call; the store and arena kernel
+                # nest their own stage spans under it via activated().
+                kernel_spans: List[Tuple[Trace, Any]] = []
+                if traced:
+                    for pending in group:
+                        if pending.trace is not None:
+                            span = pending.trace.open(
+                                "kernel", queries=len(group))
+                            kernel_spans.append((pending.trace, span))
                 try:
-                    results = self.store.search_batch(
-                        [pending.bits for pending in group], mask=mask)
+                    if kernel_spans:
+                        with activated([(trace, span.span_id)
+                                        for trace, span in kernel_spans]):
+                            results = self.store.search_batch(
+                                [pending.bits for pending in group],
+                                mask=mask)
+                    else:
+                        results = self.store.search_batch(
+                            [pending.bits for pending in group], mask=mask)
                 except Exception as exc:  # fail the group, keep serving
+                    if kernel_spans:
+                        now = time.perf_counter()
+                        for _trace, span in kernel_spans:
+                            span.close(now)
                     outcomes.append((group, exc, None))
                 else:
+                    kernel_done = time.perf_counter()
+                    for _trace, span in kernel_spans:
+                        span.close(kernel_done)
                     # Freeze the results while the read lock still
                     # excludes writers: backends reuse live Match
                     # objects (update() mutates word/payload in place),
@@ -404,9 +504,15 @@ class SearchService:
                     # write would retroactively rewrite them — the
                     # torn read the stress suite's serial replay
                     # catches.
-                    outcomes.append((group, None, [
+                    frozen = [
                         replace(r, matches=[replace(m) for m in r.matches])
-                        for r in results]))
+                        for r in results]
+                    if kernel_spans:
+                        freeze_done = time.perf_counter()
+                        for trace, _span in kernel_spans:
+                            trace.record("freeze", kernel_done,
+                                         freeze_done)
+                    outcomes.append((group, None, frozen))
         completed_at = time.perf_counter()
         size = len(batch)
         with self._mutex:
@@ -416,16 +522,56 @@ class SearchService:
                 self._coalesced += size
             else:
                 self._direct += 1
+        slow_log = obs.slow_log if obs is not None else None
+        # Hoist the threshold so the per-request slow check is one
+        # float compare; record() (kwargs build, JSON dump) only runs
+        # for actual offenders.
+        slow_threshold = (slow_log.threshold_s if slow_log is not None
+                          else None)
+        # Per-request obs work (trace finishing, the slow-query check)
+        # only runs when something per-request is actually configured:
+        # metrics-only serving takes the same completion path as
+        # obs-off and folds its latencies in one batch-level sweep.
+        per_request_obs = bool(traced) or slow_threshold is not None
         for group, error, results in outcomes:
             if error is not None:
                 for pending in group:
+                    if pending.trace is not None:
+                        pending.trace.root.attrs["error"] = repr(error)
+                        obs.tracer.finish(pending.trace, completed_at)
                     self._complete_error(pending.future, error)
                 continue
-            for pending, result in zip(group, results):
-                latency = completed_at - pending.enqueued_at
-                self._complete(pending.future, ServedResult(
-                    result=result, generation=generation,
-                    latency=latency))
+            if per_request_obs:
+                for pending, result in zip(group, results):
+                    latency = completed_at - pending.enqueued_at
+                    if pending.trace is not None:
+                        pending.trace.root.attrs.update(
+                            generation=generation, batch_size=size,
+                            matches=len(result.matches))
+                        obs.tracer.finish(pending.trace, completed_at)
+                    if (slow_threshold is not None
+                            and latency >= slow_threshold):
+                        slow_log.record(
+                            bits=pending.bits, mask=pending.mask,
+                            latency=latency, generation=generation,
+                            batch_size=size, matches=len(result.matches))
+                    self._complete(pending.future, ServedResult(
+                        result=result, generation=generation,
+                        latency=latency))
+            else:
+                for pending, result in zip(group, results):
+                    self._complete(pending.future, ServedResult(
+                        result=result, generation=generation,
+                        latency=completed_at - pending.enqueued_at))
+        if obs is not None:
+            # One histogram lock acquisition for the whole drain; the
+            # listcomp re-derives latencies C-side rather than taxing
+            # the completion loop with per-request appends.
+            latencies = [completed_at - pending.enqueued_at
+                         for group, error, _results in outcomes
+                         if error is None for pending in group]
+            if latencies:
+                obs.record_latencies(latencies)
 
     def _complete(self, future: "Future[ServedResult]",
                   served: ServedResult) -> None:
@@ -449,6 +595,11 @@ class SearchService:
     # -- telemetry ---------------------------------------------------------------
 
     @property
+    def obs(self) -> "Optional[Observability]":
+        """The observability bundle this service feeds, if any."""
+        return self._obs
+
+    @property
     def stats(self) -> ServiceStats:
         # Copy under the mutex, compute outside it: percentiles sort
         # the (bounded) latency window, and the submit/dispatch hot
@@ -468,7 +619,10 @@ class SearchService:
         return ServiceStats(
             p50_latency=LatencyReservoir.percentile(sample, 50.0),
             p99_latency=LatencyReservoir.percentile(sample, 99.0),
-            latency_samples=len(sample), **counters)
+            latency_samples=len(sample),
+            timestamp=time.time(),
+            uptime_s=time.perf_counter() - self._started_mono,
+            **counters)
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "closed" if self.closed else "open"

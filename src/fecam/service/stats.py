@@ -41,12 +41,16 @@ class LatencyReservoir:
 
     @staticmethod
     def percentile(sample: Iterable[float], p: float) -> float:
-        """Nearest-rank percentile of ``sample`` (0.0 when empty)."""
+        """Nearest-rank percentile of ``sample`` (0.0 when empty).
+
+        ``p`` is validated before any work happens, so a bad percentile
+        raises even for empty or huge samples instead of sorting first.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
         ordered = sorted(sample)
         if not ordered:
             return 0.0
-        if not 0.0 <= p <= 100.0:
-            raise ValueError(f"percentile {p} outside [0, 100]")
         rank = max(int(math.ceil(p / 100.0 * len(ordered))), 1)
         return ordered[rank - 1]
 
@@ -76,6 +80,8 @@ class ServiceStats:
     p50_latency: float = 0.0   # s, median request latency (window)
     p99_latency: float = 0.0   # s, tail request latency (window)
     latency_samples: int = 0   # how many latencies back the percentiles
+    timestamp: float = 0.0     # wall clock when the snapshot was taken
+    uptime_s: float = 0.0      # monotonic seconds since service start
 
     @property
     def mean_batch_size(self) -> float:
@@ -94,14 +100,23 @@ class ServiceStats:
         return self.submitted - self.served - self.failed
 
     def as_dict(self) -> Dict[str, object]:
-        """Flat dict (histogram keyed by int batch size) for JSON dumps."""
+        """JSON-safe flat dict with an explicit, round-trippable schema.
+
+        ``batch_size_hist`` is exported as a sorted list of
+        ``{"size": int, "count": int}`` rows — ``json.dumps`` would
+        silently stringify int dict keys, and the naive dict shape does
+        not survive a dump/load cycle.  :meth:`from_dict` inverts this
+        exactly.
+        """
         return {
             "submitted": self.submitted, "served": self.served,
             "failed": self.failed, "overloads": self.overloads,
             "queue_depth": self.queue_depth,
             "max_queue_depth": self.max_queue_depth,
             "batches": self.batches,
-            "batch_size_hist": dict(self.batch_size_hist),
+            "batch_size_hist": [
+                {"size": size, "count": count}
+                for size, count in sorted(self.batch_size_hist.items())],
             "mean_batch_size": self.mean_batch_size,
             "coalesced": self.coalesced, "direct": self.direct,
             "coalesced_ratio": self.coalesced_ratio,
@@ -109,4 +124,33 @@ class ServiceStats:
             "p50_latency_s": self.p50_latency,
             "p99_latency_s": self.p99_latency,
             "latency_samples": self.latency_samples,
+            "timestamp": self.timestamp,
+            "uptime_s": self.uptime_s,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ServiceStats":
+        """Rebuild a snapshot from :meth:`as_dict` output (post-JSON).
+
+        Derived values (``mean_batch_size``, ``coalesced_ratio``,
+        ``pending``) are recomputed from the fields, not read back.
+        """
+        hist_rows = data.get("batch_size_hist", [])
+        return cls(
+            submitted=int(data["submitted"]), served=int(data["served"]),
+            failed=int(data["failed"]), overloads=int(data["overloads"]),
+            queue_depth=int(data["queue_depth"]),
+            max_queue_depth=int(data["max_queue_depth"]),
+            batches=int(data["batches"]),
+            batch_size_hist={int(row["size"]): int(row["count"])
+                             for row in hist_rows},
+            coalesced=int(data.get("coalesced", 0)),
+            direct=int(data.get("direct", 0)),
+            writes=int(data.get("writes", 0)),
+            generation=int(data.get("generation", 0)),
+            p50_latency=float(data.get("p50_latency_s", 0.0)),
+            p99_latency=float(data.get("p99_latency_s", 0.0)),
+            latency_samples=int(data.get("latency_samples", 0)),
+            timestamp=float(data.get("timestamp", 0.0)),
+            uptime_s=float(data.get("uptime_s", 0.0)),
+        )

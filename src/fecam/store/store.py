@@ -24,6 +24,8 @@ Physical storage is a :class:`~fecam.store.SearchBackend`: one array
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from dataclasses import replace
@@ -33,6 +35,9 @@ from ..cam.states import normalize_word
 from ..errors import OperationError, TernaryValueError
 from ..fabric.batch import normalize_queries
 from ..fabric.cache import QueryCache, serve_cached_batch
+from ..obs.trace import active as trace_active
+from ..obs.trace import record_span
+from ..obs.trace import stage as trace_stage
 from ..designs import DesignKind
 from .backend import SearchBackend, make_backend
 from .config import StoreConfig
@@ -297,9 +302,13 @@ class CamStore:
         bits_list, mask = self._coerce_batch(queries, mask)
         if not bits_list:
             return []
+        computed_n = 0
 
         def compute(unique: List[str]) -> List[QueryResult]:
-            computed = self.backend.search_batch(unique, mask)
+            nonlocal computed_n
+            computed_n = len(unique)
+            with trace_stage("backend.search_batch", queries=len(unique)):
+                computed = self.backend.search_batch(unique, mask)
             self._searches += len(unique)
             self._array_searches += len(unique)
             for result in computed:
@@ -310,11 +319,27 @@ class CamStore:
         def count_served() -> None:
             self._searches += 1
 
-        return serve_cached_batch(
+        targets = trace_active()
+        if not targets:
+            return serve_cached_batch(
+                self._cache if use_cache else None, (self._generation,),
+                bits_list, key_fn=lambda bits: (bits, mask),
+                compute=compute, snapshot=self._snapshot,
+                from_cache=self._from_cache, count_served=count_served)
+        # Traced path: time the whole store stage (cache lookups
+        # included) and annotate how much of the batch actually fired
+        # the arrays vs. rode the query cache.
+        start = time.perf_counter()
+        results = serve_cached_batch(
             self._cache if use_cache else None, (self._generation,),
             bits_list, key_fn=lambda bits: (bits, mask),
             compute=compute, snapshot=self._snapshot,
             from_cache=self._from_cache, count_served=count_served)
+        record_span(targets, "store.search_batch", start,
+                    time.perf_counter(), queries=len(bits_list),
+                    computed=computed_n,
+                    cache_served=len(bits_list) - computed_n)
+        return results
 
     # -- telemetry ---------------------------------------------------------------
 

@@ -1,0 +1,217 @@
+"""Integration tests: the Observability bundle wired to a live
+SearchService — all four stats silos in one Prometheus exposition, the
+/metrics HTTP endpoint, per-request trace structure (stage spans sum to
+within the e2e latency), and the slow-query log."""
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from fecam.designs import DesignKind
+from fecam.functional import EnergyModel
+from fecam.obs import (EveryN, JsonLinesSink, MetricsServer, Observability,
+                       SlowQueryLog, Tracer, lint_prometheus)
+from fecam.service import SearchService
+from fecam.store import CamStore, StoreConfig
+
+WIDTH = 8
+
+STAGES = ("queue", "coalesce", "lock_wait", "kernel", "freeze")
+
+
+def fast_model(width=WIDTH):
+    return EnergyModel(DesignKind.DG_1T5, width, e_1step_per_bit=0.8e-15,
+                       e_2step_per_bit=1.3e-15, latency_1step=0.7e-9,
+                       latency_2step=2.3e-9, write_energy_per_cell=0.4e-15)
+
+
+def make_fabric_store(rows=32, banks=4):
+    store = CamStore(StoreConfig(width=WIDTH, rows=rows, banks=banks,
+                                 backend="fabric",
+                                 energy_model=fast_model()))
+    store.insert("1010XXXX", key="a")
+    store.insert("11111111", key="b")
+    return store
+
+
+def traced_obs(trace_buf, slow_buf, threshold=0.25):
+    return Observability(
+        tracer=Tracer(EveryN(1), JsonLinesSink(trace_buf)),
+        slow_log=SlowQueryLog(threshold, JsonLinesSink(slow_buf)))
+
+
+class TestFourSilosInOneSnapshot:
+    def test_prometheus_text_covers_every_silo_and_lints(self):
+        store = make_fabric_store()
+        with Observability() as obs:
+            with SearchService(store, obs=obs) as service:
+                obs.bind_service(service)
+                service.search_many(["10101111", "11111111"] * 4)
+                text = obs.prometheus_text()
+        # one representative series per silo: service, store, fabric
+        # (per-bank labels), and the engine cam counters
+        assert "fecam_service_served_total 8" in text
+        assert "fecam_store_searches_total" in text
+        assert 'fecam_fabric_bank_occupancy{bank="0"}' in text
+        assert 'fecam_cam_searches_total{bank="0"}' in text
+        assert "fecam_service_request_latency_seconds_bucket" in text
+        assert lint_prometheus(text) == [], lint_prometheus(text)
+
+    def test_json_lines_dump_parses(self):
+        store = make_fabric_store()
+        with Observability() as obs:
+            with SearchService(store, obs=obs) as service:
+                obs.bind_service(service)
+                service.search("10101111")
+                rows = [json.loads(line)
+                        for line in obs.json_lines().splitlines()]
+        names = {row["name"] for row in rows}
+        assert {"fecam_service_served_total", "fecam_store_searches_total",
+                "fecam_fabric_searches_total",
+                "fecam_cam_searches_total"} <= names
+
+
+class TestMetricsEndpoint:
+    def test_metrics_http_smoke(self):
+        store = make_fabric_store()
+        with Observability() as obs:
+            with SearchService(store, obs=obs) as service:
+                obs.bind_service(service)
+                service.search("11111111")
+                server = obs.start_http()
+                with urllib.request.urlopen(server.url, timeout=10) as resp:
+                    assert resp.status == 200
+                    assert resp.headers["Content-Type"].startswith(
+                        "text/plain; version=0.0.4")
+                    body = resp.read().decode()
+                assert "fecam_service_served_total 1" in body
+                assert lint_prometheus(body) == []
+
+                json_url = server.url + ".json"
+                with urllib.request.urlopen(json_url, timeout=10) as resp:
+                    rows = [json.loads(line) for line in
+                            resp.read().decode().splitlines()]
+                assert any(row["name"] == "fecam_store_searches_total"
+                           for row in rows)
+
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(
+                        server.url.replace("/metrics", "/nope"), timeout=10)
+                assert excinfo.value.code == 404
+        # obs.close() shut the server down with it
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(server.url, timeout=2)
+
+    def test_standalone_metrics_server(self):
+        from fecam.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "Demo.").inc()
+        with MetricsServer(registry) as server:
+            assert server.port > 0
+            with urllib.request.urlopen(server.url, timeout=10) as resp:
+                assert b"demo_total 1" in resp.read()
+
+
+class TestTracedRequests:
+    def _serve_traced(self, n_queries=6):
+        trace_buf, slow_buf = io.StringIO(), io.StringIO()
+        store = make_fabric_store()
+        obs = traced_obs(trace_buf, slow_buf)
+        with obs:
+            with SearchService(store, obs=obs) as service:
+                obs.bind_service(service)
+                service.search_many(["10101111"] * n_queries)
+                text = obs.prometheus_text()
+        traces = [json.loads(line)
+                  for line in trace_buf.getvalue().splitlines()]
+        return traces, obs, text
+
+    def test_every_request_traced_at_every_one_sampling(self):
+        traces, obs, _text = self._serve_traced(6)
+        assert len(traces) == 6
+        assert obs.tracer.sampled == obs.tracer.finished == 6
+
+    def test_span_structure_and_stage_sum(self):
+        traces, _obs, _text = self._serve_traced()
+        for trace in traces:
+            spans = {span["name"]: span for span in trace["spans"]}
+            root = spans["request"]
+            assert root["id"] == 1 and root["parent"] is None
+            assert root["start_s"] == 0.0
+            # every serving stage present, parented to the root
+            for name in STAGES:
+                assert name in spans, f"missing stage {name}"
+                assert spans[name]["parent"] == 1
+            # the store/kernel sub-spans nest under the kernel span
+            kernel_id = spans["kernel"]["id"]
+            assert spans["store.search_batch"]["parent"] == kernel_id
+            # stage durations sum to within tolerance of the e2e span
+            stage_sum = sum(spans[name]["duration_s"] for name in STAGES)
+            assert stage_sum <= trace["duration_s"] * 1.05 + 1e-6
+            assert trace["duration_s"] > 0.0
+            # request attributes recorded at submit and completion
+            assert trace["attrs"]["bits"] == "10101111"
+            assert trace["attrs"]["matches"] == 1
+            assert trace["attrs"]["batch_size"] >= 1
+
+    def test_trace_counters_reach_the_registry(self):
+        _traces, _obs, text = self._serve_traced(3)
+        assert "fecam_service_traces_sampled_total 3" in text
+        assert "fecam_service_traces_finished_total 3" in text
+
+
+class TestSlowQueryLog:
+    def test_threshold_zero_logs_everything(self):
+        trace_buf, slow_buf = io.StringIO(), io.StringIO()
+        store = make_fabric_store()
+        with traced_obs(trace_buf, slow_buf, threshold=0.0) as obs:
+            with SearchService(store, obs=obs) as service:
+                obs.bind_service(service)
+                service.search_many(["11111111"] * 4)
+                text = obs.prometheus_text()
+        entries = [json.loads(line)
+                   for line in slow_buf.getvalue().splitlines()]
+        assert len(entries) == 4
+        for entry in entries:
+            assert entry["bits"] == "11111111"
+            assert entry["latency_s"] >= entry["threshold_s"] == 0.0
+            assert entry["matches"] == 1
+        assert "fecam_service_slow_queries_total 4" in text
+
+    def test_fast_requests_stay_out_of_the_log(self):
+        trace_buf, slow_buf = io.StringIO(), io.StringIO()
+        store = make_fabric_store()
+        with traced_obs(trace_buf, slow_buf, threshold=60.0) as obs:
+            with SearchService(store, obs=obs) as service:
+                obs.bind_service(service)
+                service.search_many(["11111111"] * 4)
+        assert slow_buf.getvalue() == ""
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(-1.0, JsonLinesSink(io.StringIO()))
+
+
+class TestDisabledPathStaysClean:
+    def test_service_without_obs_serves_identically(self):
+        store = make_fabric_store()
+        with SearchService(store) as service:
+            served = service.search_many(["10101111"] * 3)
+        assert all(s.match_keys == ["a"] for s in served)
+
+    def test_bind_unbind_removes_the_mirror(self):
+        store = make_fabric_store()
+        with Observability() as obs:
+            with SearchService(store, obs=obs) as service:
+                unbind = obs.bind_service(service)
+                service.search("11111111")
+                assert "fecam_service_served_total 1" in \
+                    obs.prometheus_text()
+                unbind()
+                service.search("11111111")
+                # the hook is gone: the mirrored total no longer tracks
+                assert "fecam_service_served_total 1" in \
+                    obs.prometheus_text()

@@ -1,0 +1,255 @@
+"""Unit tests for the metrics registry: name/label/bucket validation,
+registration collision rules, counter/gauge/histogram semantics
+(including the inclusive ``le`` bucket edges and the batched
+``observe_many`` fast path), labeled children, and collect hooks."""
+
+import math
+import threading
+
+import pytest
+
+from fecam.errors import ObservabilityError
+from fecam.obs import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", ["", "1abc", "a-b", "a b", "a.b"])
+    def test_bad_metric_names_rejected(self, name):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter(name, "bad")
+
+    @pytest.mark.parametrize("name", ["a", "_a", "a:b", "A9_z", "fecam_x_total"])
+    def test_good_metric_names_accepted(self, name):
+        assert name in MetricsRegistry().counter(name, "ok").name
+
+    def test_reserved_label_prefix_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("c_total", "x", labelnames=("__meta",))
+
+    def test_le_label_reserved_for_histograms_only(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h", "x", labelnames=("le",), buckets=(1.0,))
+        # counters may use 'le' (nothing special about it there)
+        registry.counter("c_total", "x", labelnames=("le",))
+
+    def test_duplicate_label_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.gauge("g", "x", labelnames=("bank", "bank"))
+
+    def test_bad_label_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.gauge("g", "x", labelnames=("bad-label",))
+
+    @pytest.mark.parametrize("buckets", [
+        (),                      # empty
+        (1.0, math.inf),         # +Inf is implicit, not explicit
+        (1.0, float("nan")),     # non-finite
+        (1.0, 1.0),              # not strictly increasing
+        (2.0, 1.0),              # decreasing
+    ])
+    def test_bad_buckets_rejected(self, buckets):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h", "x", buckets=buckets)
+
+
+class TestRegistrationCollisions:
+    def test_identical_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("fecam_x_total", "X.", labelnames=("bank",))
+        second = registry.counter("fecam_x_total", "X.", labelnames=("bank",))
+        assert first is second
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("fecam_x_total", "X.")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.gauge("fecam_x_total", "X.")
+
+    def test_labelnames_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("fecam_x_total", "X.", labelnames=("bank",))
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.counter("fecam_x_total", "X.", labelnames=("shard",))
+
+    def test_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "X.", buckets=(1.0, 2.0))
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.histogram("h", "X.", buckets=(1.0, 4.0))
+        assert registry.histogram("h", "X.", buckets=(1.0, 2.0)) is not None
+
+    def test_contains_and_get(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "x")
+        assert "g" in registry
+        assert "other" not in registry
+        assert registry.get("g").kind == "gauge"
+        assert registry.get("other") is None
+
+
+class TestCounterGauge:
+    def test_counter_monotone(self):
+        counter = MetricsRegistry().counter("c_total", "x")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.get() == 3.5
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1.0)
+
+    def test_counter_set_total_mirrors_external_silo(self):
+        counter = MetricsRegistry().counter("c_total", "x")
+        counter.set_total(41)
+        counter.set_total(42)
+        assert counter.get() == 42.0
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("g", "x")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(3.0)
+        assert gauge.get() == 4.0
+
+
+def _bucket_counts(family):
+    (sample,) = family.snapshot().samples
+    return sample.value
+
+
+class TestHistogram:
+    def test_le_edges_are_inclusive(self):
+        """A value exactly on a bound lands in that bound's bucket —
+        the Prometheus ``le`` (less-or-equal) contract."""
+        hist = MetricsRegistry().histogram("h", "x", buckets=(1.0, 2.0, 4.0))
+        for value in (1.0, 2.0, 4.0):
+            hist.observe(value)
+        value = _bucket_counts(hist)
+        # cumulative: le=1 sees only 1.0; le=2 adds 2.0; le=4 adds 4.0
+        assert value.buckets == ((1.0, 1), (2.0, 2), (4.0, 3),
+                                 (math.inf, 3))
+        assert value.count == 3
+        assert value.sum == 7.0
+
+    def test_overflow_bucket(self):
+        hist = MetricsRegistry().histogram("h", "x", buckets=(1.0,))
+        hist.observe(100.0)
+        value = _bucket_counts(hist)
+        assert value.buckets == ((1.0, 0), (math.inf, 1))
+
+    @pytest.mark.parametrize("n", [3, 200])
+    def test_observe_many_matches_observe(self, n):
+        """Both observe_many paths (the per-value loop for small
+        batches and the sort+bisect sweep for large ones) must agree
+        exactly with one-at-a-time observe."""
+        import random
+        rng = random.Random(7)
+        values = ([0.0, 1e-5, 0.5, 1.0, 1.0000001, 999.0]
+                  + [rng.uniform(0, 2) for _ in range(n)])
+        buckets = tuple(DEFAULT_LATENCY_BUCKETS)
+        assert (len(values) > len(buckets)) == (n == 200)
+
+        one = MetricsRegistry().histogram("h", "x", buckets=buckets)
+        for value in values:
+            one.observe(value)
+        many = MetricsRegistry().histogram("h", "x", buckets=buckets)
+        many.observe_many(values)
+
+        v_one, v_many = _bucket_counts(one), _bucket_counts(many)
+        assert v_one.buckets == v_many.buckets
+        assert v_one.count == v_many.count
+        assert v_one.sum == pytest.approx(v_many.sum)
+
+    def test_observe_many_empty_is_noop(self):
+        hist = MetricsRegistry().histogram("h", "x", buckets=(1.0,))
+        hist.observe_many([])
+        assert _bucket_counts(hist).count == 0
+
+    def test_load_replaces_state(self):
+        hist = MetricsRegistry().histogram("h", "x", buckets=(2.0, 8.0))
+        hist.observe(1.0)
+        hist.load([(1, 3), (4, 2), (100, 1)])
+        value = _bucket_counts(hist)
+        assert value.buckets == ((2.0, 3), (8.0, 5), (math.inf, 6))
+        assert value.count == 6
+        assert value.sum == 1 * 3 + 4 * 2 + 100 * 1
+
+
+class TestLabels:
+    def test_children_are_per_label_tuple(self):
+        family = MetricsRegistry().counter("c_total", "x",
+                                           labelnames=("bank",))
+        family.labels(bank="0").inc()
+        family.labels(bank="0").inc()
+        family.labels(bank="1").inc(5)
+        snap = family.snapshot()
+        by_label = {sample.labels: sample.value
+                    for sample in snap.samples}
+        assert by_label[(("bank", "0"),)] == 2.0
+        assert by_label[(("bank", "1"),)] == 5.0
+
+    def test_label_values_coerced_to_str(self):
+        family = MetricsRegistry().gauge("g", "x", labelnames=("bank",))
+        assert family.labels(bank=3) is family.labels(bank="3")
+
+    def test_wrong_labels_raise(self):
+        family = MetricsRegistry().counter("c_total", "x",
+                                           labelnames=("bank",))
+        with pytest.raises(ObservabilityError):
+            family.labels(shard="0")
+        with pytest.raises(ObservabilityError):
+            family.labels()
+
+    def test_labeled_family_rejects_sole_child_proxy(self):
+        family = MetricsRegistry().counter("c_total", "x",
+                                           labelnames=("bank",))
+        with pytest.raises(ObservabilityError, match="labels"):
+            family.inc()
+
+
+class TestCollect:
+    def test_collect_runs_hooks_then_snapshots(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "x")
+        silo = {"value": 0}
+        registry.on_collect(lambda: gauge.set(silo["value"]))
+        silo["value"] = 7
+        (snap,) = registry.collect()
+        assert snap.samples[0].value == 7.0
+
+    def test_unregister_stops_the_hook(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "x")
+        silo = {"value": 1}
+        unregister = registry.on_collect(lambda: gauge.set(silo["value"]))
+        registry.collect()
+        unregister()
+        unregister()  # idempotent
+        silo["value"] = 99
+        (snap,) = registry.collect()
+        assert snap.samples[0].value == 1.0
+
+    def test_collect_is_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta_total", "z")
+        registry.counter("alpha_total", "a")
+        assert [f.name for f in registry.collect()] == ["alpha_total",
+                                                        "zeta_total"]
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = MetricsRegistry().counter("c_total", "x")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.get() == 4000.0

@@ -1,0 +1,202 @@
+"""Unit tests for sampled tracing: span parent/ordering invariants,
+trace serialization, sampler determinism (EveryN, SeededRandom), the
+tracer lifecycle, and the thread-local stage-span plumbing the lower
+layers use."""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from fecam.obs import (EveryN, JsonLinesSink, SeededRandom, Trace, Tracer,
+                       activated, active, record_span, stage)
+
+
+class TestTraceSpans:
+    def test_root_span_is_id_1_named_request(self):
+        trace = Trace(7, bits="1010")
+        assert trace.root.span_id == 1
+        assert trace.root.parent_id is None
+        assert trace.root.name == "request"
+        assert trace.root.attrs == {"bits": "1010"}
+        assert trace.spans[0] is trace.root
+
+    def test_child_spans_default_parent_to_root_and_order(self):
+        trace = Trace(1)
+        first = trace.record("queue", 0.0, 1.0)
+        second = trace.record("kernel", 1.0, 2.0)
+        nested = trace.record("kernel.fused", 1.2, 1.8,
+                              parent_id=second.span_id)
+        assert [s.span_id for s in trace.spans] == [1, 2, 3, 4]
+        assert first.parent_id == trace.root.span_id
+        assert second.parent_id == trace.root.span_id
+        assert nested.parent_id == second.span_id
+
+    def test_open_then_close_measures(self):
+        trace = Trace(1)
+        span = trace.open("kernel", start=10.0)
+        assert span.end is None and span.duration == 0.0
+        span.close(10.5)
+        assert span.duration == pytest.approx(0.5)
+
+    def test_finish_closes_root(self):
+        start = time.perf_counter()
+        trace = Trace(1, started=start)
+        assert not trace.finished
+        trace.finish(start + 2.0)
+        assert trace.finished
+        assert trace.root.duration == pytest.approx(2.0)
+
+    def test_as_dict_offsets_are_relative_to_root(self):
+        start = 100.0
+        trace = Trace(3, started=start, bits="11")
+        trace.record("queue", start + 0.1, start + 0.3, wait="q")
+        trace.finish(start + 1.0)
+        payload = trace.as_dict()
+        assert payload["trace_id"] == 3
+        assert payload["duration_s"] == pytest.approx(1.0)
+        assert payload["attrs"] == {"bits": "11"}
+        root_row, queue_row = payload["spans"]
+        assert root_row["id"] == 1 and root_row["parent"] is None
+        assert root_row["start_s"] == 0.0
+        assert queue_row["name"] == "queue"
+        assert queue_row["parent"] == 1
+        assert queue_row["start_s"] == pytest.approx(0.1)
+        assert queue_row["duration_s"] == pytest.approx(0.2)
+        assert queue_row["attrs"] == {"wait": "q"}
+        json.dumps(payload)  # JSON-ready with no custom encoder
+
+
+class TestSamplers:
+    def test_every_n_fires_on_multiples(self):
+        sampler = EveryN(4)
+        decisions = [sampler() for _ in range(9)]
+        assert decisions == [True, False, False, False,
+                             True, False, False, False, True]
+
+    def test_every_one_traces_everything(self):
+        sampler = EveryN(1)
+        assert all(sampler() for _ in range(5))
+
+    def test_every_n_validates(self):
+        with pytest.raises(ValueError):
+            EveryN(0)
+
+    def test_seeded_random_is_reproducible(self):
+        left = SeededRandom(0.3, seed=42)
+        right = SeededRandom(0.3, seed=42)
+        decisions = [left() for _ in range(200)]
+        assert decisions == [right() for _ in range(200)]
+        assert any(decisions) and not all(decisions)
+
+    def test_seeded_random_extremes_and_validation(self):
+        assert not any(SeededRandom(0.0)() for _ in range(20))
+        assert all(SeededRandom(1.0)() for _ in range(20))
+        with pytest.raises(ValueError):
+            SeededRandom(1.5)
+
+
+class TestTracer:
+    def test_sample_honors_sampler_and_counts(self):
+        tracer = Tracer(EveryN(2))
+        first = tracer.sample()
+        second = tracer.sample()
+        third = tracer.sample()
+        assert first is not None and third is not None
+        assert second is None
+        assert tracer.sampled == 2
+        assert first.trace_id != third.trace_id
+
+    def test_begin_is_the_post_decision_half(self):
+        """Hot callers check ``tracer.sampler()`` inline and call
+        ``begin`` only on a positive decision — it must never consult
+        the sampler again."""
+        tracer = Tracer(lambda: False)
+        trace = tracer.begin(bits="0")
+        assert trace is not None
+        assert tracer.sampled == 1
+
+    def test_finish_emits_to_sink(self):
+        buf = io.StringIO()
+        tracer = Tracer(EveryN(1), JsonLinesSink(buf))
+        trace = tracer.sample()
+        trace.record("kernel", trace.root.start, trace.root.start + 0.1)
+        tracer.finish(trace)
+        assert tracer.finished == 1
+        row = json.loads(buf.getvalue())
+        assert {span["name"] for span in row["spans"]} == {"request",
+                                                           "kernel"}
+
+    def test_default_sampler_is_every_n(self):
+        tracer = Tracer(sample_every=3)
+        assert [tracer.sample() is not None for _ in range(6)] == [
+            True, False, False, True, False, False]
+
+
+class TestJsonLinesSink:
+    def test_counts_and_appends_lines(self, tmp_path):
+        path = str(tmp_path / "traces.jsonl")
+        with JsonLinesSink(path) as sink:
+            sink.write({"a": 1})
+            sink.write({"b": 2})
+            assert sink.count == 2
+        lines = [json.loads(line)
+                 for line in open(path).read().splitlines()]
+        assert lines == [{"a": 1}, {"b": 2}]
+
+    def test_wrapping_a_file_object_does_not_close_it(self):
+        buf = io.StringIO()
+        sink = JsonLinesSink(buf)
+        sink.write({"x": 1})
+        sink.close()
+        assert not buf.closed
+
+
+class TestActiveTraceThreading:
+    def test_stage_is_noop_when_nothing_active(self):
+        assert active() == ()
+        with stage("kernel"):
+            pass  # no trace to land on; must not raise
+
+    def test_record_span_lands_on_every_target(self):
+        one, two = Trace(1), Trace(2)
+        anchor = two.record("kernel", 0.0, 1.0)
+        with activated([(one, one.root_id), (two, anchor.span_id)]):
+            assert len(active()) == 2
+            with stage("kernel.fused", rows=16):
+                pass
+        assert active() == ()
+        span_one = one.spans[-1]
+        span_two = two.spans[-1]
+        assert span_one.name == span_two.name == "kernel.fused"
+        assert span_one.parent_id == one.root_id
+        assert span_two.parent_id == anchor.span_id
+        assert span_one.attrs == {"rows": 16}
+
+    def test_activation_is_per_thread(self):
+        trace = Trace(1)
+        seen = {}
+
+        def other_thread():
+            seen["targets"] = active()
+
+        with activated([(trace, trace.root_id)]):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert seen["targets"] == ()
+
+    def test_activation_restores_previous_targets(self):
+        outer, inner = Trace(1), Trace(2)
+        with activated([(outer, outer.root_id)]):
+            with activated([(inner, inner.root_id)]):
+                assert active() == ((inner, inner.root_id),)
+            assert active() == ((outer, outer.root_id),)
+
+    def test_record_span_helper(self):
+        trace = Trace(1)
+        record_span([(trace, trace.root_id)], "freeze", 5.0, 6.0)
+        assert trace.spans[-1].name == "freeze"
+        assert trace.spans[-1].duration == pytest.approx(1.0)

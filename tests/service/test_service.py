@@ -121,6 +121,16 @@ class TestLatencyReservoir:
         with pytest.raises(ValueError):
             LatencyReservoir.percentile(sample, 101.0)
 
+    def test_percentile_validates_p_before_touching_the_sample(self):
+        # An out-of-range p is a caller bug even when the sample is
+        # empty — the validation must not hide behind the empty-sample
+        # early return (or behind the sort).
+        for bad_p in (-0.1, 100.1):
+            with pytest.raises(ValueError):
+                LatencyReservoir.percentile([], bad_p)
+            with pytest.raises(ValueError):
+                LatencyReservoir.percentile([1.0], bad_p)
+
     def test_bounded_window(self):
         reservoir = LatencyReservoir(capacity=4)
         for value in range(10):
@@ -378,6 +388,38 @@ class TestServiceStatsSnapshot:
         assert 0.0 <= payload["coalesced_ratio"] <= 1.0
         assert payload["p99_latency_s"] >= payload["p50_latency_s"] >= 0.0
         assert payload["latency_samples"] == 4
+
+    def test_snapshot_carries_timestamp_and_uptime(self):
+        store = make_store()
+        before = time.time()
+        with SearchService(store) as service:
+            time.sleep(0.01)
+            stats = service.stats
+        assert before <= stats.timestamp <= time.time()
+        assert stats.uptime_s >= 0.01
+        payload = stats.as_dict()
+        assert payload["timestamp"] == stats.timestamp
+        assert payload["uptime_s"] == stats.uptime_s
+
+    def test_batch_size_hist_survives_json(self):
+        import json as _json
+
+        from fecam.service import ServiceStats
+        store = make_store()
+        store.insert("1111XXXX", key="k")
+        with SearchService(store) as service:
+            service.search_many(["11111111"] * 3)
+            stats = service.stats
+        assert stats.batch_size_hist  # int keys in the live snapshot
+        wire = _json.loads(_json.dumps(stats.as_dict()))
+        rebuilt = ServiceStats.from_dict(wire)
+        # the int-keyed histogram survives the dump/load cycle exactly
+        # (json.dumps would silently stringify a naive int-keyed dict)
+        assert rebuilt.batch_size_hist == stats.batch_size_hist
+        assert rebuilt.mean_batch_size == pytest.approx(
+            stats.mean_batch_size)
+        assert rebuilt.timestamp == stats.timestamp
+        assert rebuilt.uptime_s == stats.uptime_s
 
     def test_pending_counts_incomplete_requests(self):
         store = make_store()
