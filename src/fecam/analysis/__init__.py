@@ -1,0 +1,34 @@
+"""fecam.analysis — correctness tooling for the serving stack.
+
+Two complementary halves:
+
+* a **static linter** (``python -m fecam.analysis lint src/fecam``)
+  whose repo-specific rules (FCA001+) enforce the invariants the
+  concurrent serving tier rests on: generation discipline on bitplane
+  writes, RWLock discipline on shared store state, frozen-dataclass
+  immutability, snapshot isolation at the service boundary, hot-path
+  hygiene, and observability naming; and
+* a **runtime sanitizer** (:mod:`fecam.analysis.sanitize`, enabled by
+  ``FECAM_SANITIZE=1``) that instruments the real RWLock and planes
+  objects with per-thread locksets, catching at test time what static
+  analysis cannot see (aliasing, dynamic call paths).
+
+The marker decorators in :mod:`fecam.analysis.markers` are the shared
+vocabulary: the linter checks them lexically, the sanitizer checks
+them dynamically, and both fail loudly instead of letting a torn read
+ship.
+"""
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .linter import (LintError, LintResult, Module, Project, Rule,
+                     Violation, all_rules, run_lint)
+from .markers import (hot_path, lock_free, mutates_planes, requires_lock)
+from .reporters import render_json, render_text
+
+__all__ = [
+    "LintError", "LintResult", "Module", "Project", "Rule", "Violation",
+    "all_rules", "run_lint",
+    "load_baseline", "write_baseline", "apply_baseline",
+    "render_text", "render_json",
+    "requires_lock", "lock_free", "hot_path", "mutates_planes",
+]

@@ -1,0 +1,103 @@
+"""CLI for the fecam correctness tools.
+
+Usage::
+
+    python -m fecam.analysis lint src/fecam            # text report
+    python -m fecam.analysis lint src/fecam --format json
+    python -m fecam.analysis lint src/fecam --baseline analysis-baseline.json
+    python -m fecam.analysis lint src/fecam --write-baseline stale.json
+    python -m fecam.analysis lint src/fecam --select FCA002,FCA004
+    python -m fecam.analysis rules                     # rule catalogue
+
+Exit codes: 0 clean, 1 violations found, 2 usage/parse error — the
+same contract as flake8, so CI and editors can reuse their wiring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from pathlib import Path
+from typing import List, Optional, Set
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .linter import LintError, all_rules, run_lint
+from .reporters import render_json, render_text
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+
+def _parse_codes(raw: Optional[str]) -> Optional[Set[str]]:
+    if not raw:
+        return None
+    return {code.strip().upper() for code in raw.split(",") if code.strip()}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m fecam.analysis",
+        description="Invariant linter for the fecam serving stack.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="lint source files/directories")
+    lint.add_argument("paths", nargs="+", type=Path,
+                      help="files or directories to lint")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--baseline", type=Path, default=None,
+                      help="baseline file of accepted violations")
+    lint.add_argument("--write-baseline", type=Path, default=None,
+                      metavar="PATH",
+                      help="write current violations as a new baseline "
+                           "and exit 0")
+    lint.add_argument("--select", type=str, default=None,
+                      help="comma-separated codes to run (only these)")
+    lint.add_argument("--ignore", type=str, default=None,
+                      help="comma-separated codes to skip")
+    lint.add_argument("--root", type=Path, default=Path("."),
+                      help="root for display paths (default: cwd; must "
+                           "match the root used when the baseline was "
+                           "written)")
+
+    sub.add_parser("rules", help="list the rule catalogue")
+    return parser
+
+
+def _cmd_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name}")
+        print(f"        {rule.description}")
+    return EXIT_CLEAN
+
+
+def _cmd_lint(ns: argparse.Namespace) -> int:
+    result = run_lint(ns.paths, select=_parse_codes(ns.select),
+                      ignore=_parse_codes(ns.ignore), root=ns.root)
+    if ns.write_baseline is not None:
+        write_baseline(ns.write_baseline, result.violations)
+        print(f"wrote {len(result.violations)} baseline entries to "
+              f"{ns.write_baseline}")
+        return EXIT_CLEAN
+    if ns.baseline is not None:
+        result = apply_baseline(result, load_baseline(ns.baseline))
+    print(render_json(result) if ns.format == "json"
+          else render_text(result))
+    return EXIT_CLEAN if result.ok else EXIT_VIOLATIONS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    ns = parser.parse_args(argv)
+    try:
+        if ns.command == "rules":
+            return _cmd_rules()
+        return _cmd_lint(ns)
+    except (LintError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Baseline files: adopt the linter on a tree with known violations.
+
+A baseline is a JSON ledger of violation fingerprints (path + code +
+message — no line numbers, so unrelated edits don't churn it).  At lint
+time, findings whose fingerprint appears in the baseline are filtered
+out and counted separately; anything *new* still fails the run.
+
+This repo ships ``analysis-baseline.json`` empty on purpose: all
+violations the rules can find in ``src/fecam`` have been fixed, and CI
+enforces that it stays that way.  The mechanism exists for downstream
+forks and for staging future, stricter rules.
+"""
+
+from __future__ import annotations
+
+import json
+
+from pathlib import Path
+from typing import List, Set, Tuple
+
+from .linter import LintResult, Violation
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> Set[Fingerprint]:
+    """Read a baseline file into a set of fingerprints.
+
+    A missing file is an empty baseline; a malformed one is an error
+    (silently ignoring a corrupt ledger would un-suppress or, worse,
+    never flag anything again without saying why).
+    """
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline format in {path}")
+    out: Set[Fingerprint] = set()
+    for entry in data.get("entries", []):
+        out.add((str(entry["path"]), str(entry["code"]),
+                 str(entry["message"])))
+    return out
+
+
+def write_baseline(path: Path, violations: List[Violation]) -> None:
+    entries = sorted({v.fingerprint for v in violations})
+    document = {
+        "version": _VERSION,
+        "entries": [
+            {"path": p, "code": c, "message": m} for p, c, m in entries
+        ],
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def apply_baseline(result: LintResult,
+                   baseline: Set[Fingerprint]) -> LintResult:
+    """Drop baselined violations from ``result`` (counted, not lost)."""
+    if not baseline:
+        return result
+    kept = [v for v in result.violations if v.fingerprint not in baseline]
+    return LintResult(
+        violations=kept,
+        files_checked=result.files_checked,
+        suppressed_noqa=result.suppressed_noqa,
+        suppressed_baseline=len(result.violations) - len(kept))

@@ -1,0 +1,113 @@
+"""Marker decorators: the contract vocabulary the correctness tools check.
+
+The serving stack's invariants (ROADMAP: snapshot isolation, generation
+discipline, hot-path hygiene) live in conventions, not types.  These
+decorators turn the conventions into machine-checkable declarations:
+
+* :func:`requires_lock` — "my caller must hold the service RWLock in at
+  least this mode."  The lint rule FCA002 verifies every call site in a
+  lock-owning class, and the runtime sanitizer verifies the per-thread
+  lockset when ``FECAM_SANITIZE=1``.
+* :func:`lock_free` — "reading me without the lock is safe" (immutable
+  layout/config attributes).  Exempts an access from FCA002.
+* :func:`hot_path` — "I am (on) the fused-kernel hot path."  FCA005
+  forbids wall-clock calls, arena copies, and per-row append loops
+  inside marked functions.
+* :func:`mutates_planes` — "I am a sanctioned bitplane mutation path"
+  (I bump the write generation myself).  FCA001 treats a call to a
+  marked function as discharging the generation-bump obligation, and
+  the sanitizer wraps marked methods to verify the bump actually
+  happened.
+
+All of them are runtime no-ops: they attach one dunder attribute and
+return the function unchanged, so decorating the hot path costs nothing
+per call.  They must stay importable from anywhere in ``fecam`` without
+dragging the rest of :mod:`fecam.analysis` in — this module therefore
+imports nothing from the package.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TypeVar
+
+__all__ = ["requires_lock", "lock_free", "hot_path", "mutates_planes",
+           "lock_mode", "is_lock_free", "is_hot_path", "is_planes_mutator",
+           "LOCK_MODES"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Valid lock modes, weakest first ("write" satisfies a "read" need).
+LOCK_MODES = ("read", "write")
+
+REQUIRES_LOCK_ATTR = "__fecam_requires_lock__"
+LOCK_FREE_ATTR = "__fecam_lock_free__"
+HOT_PATH_ATTR = "__fecam_hot_path__"
+MUTATES_PLANES_ATTR = "__fecam_mutates_planes__"
+
+
+def requires_lock(mode: str) -> Callable[[F], F]:
+    """Declare that callers must hold the serving RWLock in ``mode``.
+
+    ``mode`` is ``"read"`` or ``"write"``; holding the write lock
+    satisfies a read requirement (a writer excludes every reader, so it
+    sees at least as consistent a view).  Apply *below* ``@property``::
+
+        @property
+        @requires_lock("read")
+        def generation(self) -> int: ...
+    """
+    if mode not in LOCK_MODES:
+        raise ValueError(
+            f"lock mode must be one of {LOCK_MODES}, got {mode!r}")
+
+    def mark(fn: F) -> F:
+        setattr(fn, REQUIRES_LOCK_ATTR, mode)
+        return fn
+
+    return mark
+
+
+def lock_free(fn: F) -> F:
+    """Declare an attribute/method safe to read without the lock.
+
+    Reserve this for immutable layout and config (width, banks,
+    capacity): anything that changes under writes needs
+    :func:`requires_lock` instead.
+    """
+    setattr(fn, LOCK_FREE_ATTR, True)
+    return fn
+
+
+def hot_path(fn: F) -> F:
+    """Mark a function as part of the fused-kernel hot path (FCA005)."""
+    setattr(fn, HOT_PATH_ATTR, True)
+    return fn
+
+
+def mutates_planes(fn: F) -> F:
+    """Mark a sanctioned bitplane mutation path (bumps the generation)."""
+    setattr(fn, MUTATES_PLANES_ATTR, True)
+    return fn
+
+
+# -- runtime introspection (used by the sanitizer) -----------------------------
+
+def lock_mode(obj: Any) -> Optional[str]:
+    """The declared lock mode of a function/property getter, or None."""
+    if isinstance(obj, property):
+        obj = obj.fget
+    return getattr(obj, REQUIRES_LOCK_ATTR, None)
+
+
+def is_lock_free(obj: Any) -> bool:
+    if isinstance(obj, property):
+        obj = obj.fget
+    return bool(getattr(obj, LOCK_FREE_ATTR, False))
+
+
+def is_hot_path(obj: Any) -> bool:
+    return bool(getattr(obj, HOT_PATH_ATTR, False))
+
+
+def is_planes_mutator(obj: Any) -> bool:
+    return bool(getattr(obj, MUTATES_PLANES_ATTR, False))

@@ -1,0 +1,48 @@
+"""Violation reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from typing import List
+
+from .linter import LintResult, Violation
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: LintResult) -> str:
+    """flake8-style ``path:line:col: CODE message`` lines + summary."""
+    lines: List[str] = [v.render() for v in result.violations]
+    suppressed = result.suppressed_noqa + result.suppressed_baseline
+    summary = (f"{len(result.violations)} violation"
+               f"{'s' if len(result.violations) != 1 else ''} "
+               f"({result.files_checked} files checked")
+    if suppressed:
+        summary += (f", {result.suppressed_noqa} noqa-suppressed, "
+                    f"{result.suppressed_baseline} baselined")
+    summary += ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _violation_dict(violation: Violation) -> dict:
+    return {
+        "code": violation.code,
+        "rule": violation.rule,
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "message": violation.message,
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON document for CI artifacts and editor integrations."""
+    return json.dumps({
+        "violations": [_violation_dict(v) for v in result.violations],
+        "files_checked": result.files_checked,
+        "suppressed_noqa": result.suppressed_noqa,
+        "suppressed_baseline": result.suppressed_baseline,
+        "ok": result.ok,
+    }, indent=2, sort_keys=True)

@@ -47,6 +47,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.markers import hot_path
 from ..errors import TernaryValueError
 from ..cam.states import normalize_query
 from ..functional.engine import SearchStats, TernaryCAM, pack_words
@@ -144,6 +145,7 @@ class FusedBatchCounts:
     kernel: str                   # "table" | "dense" | "mixed" (telemetry)
 
 
+@hot_path
 def fused_count_matches(planes: TernaryPlanes, q_values: np.ndarray,
                         mask_bits: Optional[np.ndarray] = None, *,
                         n_banks: int = 1,
@@ -289,6 +291,7 @@ class _DenseScratch:
                 None if self.chunk_buf is None else self.chunk_buf[:n_q])
 
 
+@hot_path
 def _pair_bincount(state: _KernelState, q_idx: np.ndarray,
                    col_idx: np.ndarray, n_q: int) -> np.ndarray:
     """Histogram survivor pairs into (B, n_q) per-bank counts."""
@@ -299,6 +302,7 @@ def _pair_bincount(state: _KernelState, q_idx: np.ndarray,
         .reshape(n_q, state.n_banks).T
 
 
+@hot_path
 def _finish_step2(state: _KernelState, start: int, stop: int,
                   q_idx: np.ndarray, col_idx: np.ndarray) -> None:
     """Step 2 (odd positions) for step-1 survivor pairs + bookkeeping.
@@ -326,6 +330,7 @@ def _finish_step2(state: _KernelState, start: int, stop: int,
     state.match_rows.extend(d.valid_rows[col_hit].tolist())
 
 
+@hot_path
 def _sparse_block(state: _KernelState, start: int, stop: int,
                   xi: np.ndarray, pair_counts: np.ndarray) -> None:
     """Step 1 via the candidate index: gather + exact check, no dense
@@ -357,6 +362,7 @@ def _sparse_block(state: _KernelState, start: int, stop: int,
     _finish_step2(state, start, stop, q_idx, col_idx)
 
 
+@hot_path
 def _dense_block(state: _KernelState, start: int, stop: int,
                  scratch: _DenseScratch) -> None:
     """Step 1 via blockwise broadcasted compare over every pair."""
@@ -395,6 +401,7 @@ def _dense_block(state: _KernelState, start: int, stop: int,
     _finish_step2(state, start, stop, live_q[local_q], col_idx)
 
 
+@hot_path
 def batch_count_matches(cam: TernaryCAM, q_values: np.ndarray,
                         mask_bits: Optional[np.ndarray] = None, *,
                         block: int = DEFAULT_BLOCK,

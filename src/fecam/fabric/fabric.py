@@ -25,6 +25,7 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.markers import hot_path
 from ..designs import DesignKind
 from ..errors import OperationError, TernaryValueError
 from ..cam.states import normalize_query, normalize_word
@@ -441,6 +442,7 @@ class TcamFabric:
         """Cross-bank priority-encoder output: the best-priority match."""
         return self.search(query, mask).best
 
+    @hot_path
     def search_batch(self, queries: Sequence[str],
                      mask: Optional[str] = None, *,
                      use_cache: bool = True) -> List[FabricSearchResult]:

@@ -36,7 +36,8 @@ check per request — observability off truly costs ~nothing.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from typing import (TYPE_CHECKING, Any, Callable, List, Optional,
+                    Sequence)
 
 from . import adapters, export, http, slowlog, trace  # noqa: F401
 from .adapters import (BATCH_SIZE_BUCKETS, instrument, instrument_cam,
@@ -50,6 +51,9 @@ from .registry import (DEFAULT_LATENCY_BUCKETS, Counter, FamilySnapshot,
 from .slowlog import SlowQueryLog
 from .trace import (EveryN, JsonLinesSink, SeededRandom, Span, Trace,
                     Tracer, activated, active, record_span, stage)
+
+if TYPE_CHECKING:  # circular at runtime: the service imports obs types
+    from ..service import SearchService
 
 __all__ = [
     # bundle
@@ -116,7 +120,7 @@ class Observability:
 
     # -- wiring --------------------------------------------------------------------
 
-    def bind_service(self, service) -> Callable[[], None]:
+    def bind_service(self, service: "SearchService") -> Callable[[], None]:
         """Fold ``service`` (and its store/backend) into the registry."""
         unregister = instrument(service, self.registry)
         self._unregisters.append(unregister)
@@ -165,7 +169,7 @@ class Observability:
     def __enter__(self) -> "Observability":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover

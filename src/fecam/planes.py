@@ -43,6 +43,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .analysis.markers import mutates_planes
 from .errors import OperationError
 
 __all__ = ["TernaryPlanes", "DerivedPlanes", "Step1Index", "step_masks",
@@ -264,6 +265,7 @@ class TernaryPlanes:
         if self._parent is not None:
             self._parent._bump()
 
+    @mutates_planes
     def set_row(self, row: int, value: np.ndarray, care: np.ndarray) -> None:
         """Store one packed row; a bit-identical rewrite is a no-op (the
         content did not change, so no cache needs to invalidate)."""
@@ -275,6 +277,7 @@ class TernaryPlanes:
         self.valid[row] = True
         self._bump()
 
+    @mutates_planes
     def set_rows(self, rows: np.ndarray, value: np.ndarray,
                  care: np.ndarray) -> None:
         """Bulk store; a bulk rewrite whose every row is bit-identical
@@ -290,6 +293,7 @@ class TernaryPlanes:
         self.valid[rows] = True
         self._bump()
 
+    @mutates_planes
     def clear_row(self, row: int) -> None:
         """Invalidate a row and zero its planes (no ghost matches).
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import threading
 
 from contextlib import contextmanager
+from typing import Iterator, Optional
 
 __all__ = ["RWLock"]
 
@@ -38,14 +39,26 @@ class RWLock:
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        # Sanitizer seam (fecam.analysis.sanitize): when FECAM_SANITIZE
+        # is on, a LockMonitor is attached here and maintains per-thread
+        # locksets.  Off by default; the hot path pays one attribute
+        # load and a None check per acquire/release.
+        self._monitor: Optional["_MonitorHooks"] = None
 
     # -- reader side -------------------------------------------------------------
 
     def acquire_read(self) -> None:
+        monitor = self._monitor
+        if monitor is not None:
+            # Before blocking: a thread that already holds this lock in
+            # write mode would deadlock against itself here.
+            monitor.before_acquire_read()
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        if monitor is not None:
+            monitor.acquired_read()
 
     def release_read(self) -> None:
         with self._cond:
@@ -55,9 +68,12 @@ class RWLock:
                 raise RuntimeError("release_read() without acquire_read()")
             if self._readers == 0:
                 self._cond.notify_all()
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.released_read()
 
     @contextmanager
-    def read_locked(self):
+    def read_locked(self) -> Iterator["RWLock"]:
         self.acquire_read()
         try:
             yield self
@@ -67,6 +83,11 @@ class RWLock:
     # -- writer side -------------------------------------------------------------
 
     def acquire_write(self) -> None:
+        monitor = self._monitor
+        if monitor is not None:
+            # Before blocking: read->write upgrade (or re-entrant
+            # write) self-deadlocks; the monitor raises instead.
+            monitor.before_acquire_write()
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -75,6 +96,8 @@ class RWLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+        if monitor is not None:
+            monitor.acquired_write()
 
     def release_write(self) -> None:
         with self._cond:
@@ -83,9 +106,12 @@ class RWLock:
                     "release_write() without acquire_write()")
             self._writer_active = False
             self._cond.notify_all()
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.released_write()
 
     @contextmanager
-    def write_locked(self):
+    def write_locked(self) -> Iterator["RWLock"]:
         self.acquire_write()
         try:
             yield self
@@ -96,3 +122,15 @@ class RWLock:
         return (f"<RWLock readers={self._readers} "
                 f"writer={self._writer_active} "
                 f"writers_waiting={self._writers_waiting}>")
+
+
+class _MonitorHooks:
+    """Hook interface a sanitizer monitor implements (duck-typed; this
+    class only documents the seam for type checkers)."""
+
+    def before_acquire_read(self) -> None: ...
+    def acquired_read(self) -> None: ...
+    def released_read(self) -> None: ...
+    def before_acquire_write(self) -> None: ...
+    def acquired_write(self) -> None: ...
+    def released_write(self) -> None: ...

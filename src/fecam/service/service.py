@@ -48,9 +48,10 @@ from dataclasses import dataclass, replace
 from typing import (TYPE_CHECKING, Any, Callable, Hashable, List, Optional,
                     Sequence, Tuple, Union)
 
+from ..analysis.sanitize import maybe_sanitize_service
 from ..errors import OperationError, ServiceClosed, ServiceOverloaded
 from ..fabric.batch import normalize_queries
-from ..obs.trace import Trace, activated
+from ..obs.trace import Span, Trace, activated
 from ..store import CamStore
 from ..store.result import Match, Query, QueryResult
 from .locks import RWLock
@@ -186,6 +187,11 @@ class SearchService:
         # popping.  Single dispatcher thread, so plain attributes.
         self._drain_wake = self._started_mono
         self._drain_end = self._started_mono
+        # Opt-in concurrency sanitizer (FECAM_SANITIZE=1): instruments
+        # the RWLock with per-thread locksets and wraps the backend's
+        # planes so unlocked arena access and missed generation bumps
+        # surface as structured violations.  No-op when disabled.
+        maybe_sanitize_service(self)
         if start:
             self.start()
 
@@ -255,7 +261,7 @@ class SearchService:
     def __enter__(self) -> "SearchService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- front doors -------------------------------------------------------------
@@ -470,7 +476,7 @@ class SearchService:
                 # Each sampled request gets a "kernel" span covering its
                 # group's fused store call; the store and arena kernel
                 # nest their own stage spans under it via activated().
-                kernel_spans: List[Tuple[Trace, Any]] = []
+                kernel_spans: List[Tuple[Trace, Span]] = []
                 if traced:
                     for pending in group:
                         if pending.trace is not None:
@@ -601,6 +607,13 @@ class SearchService:
 
     @property
     def stats(self) -> ServiceStats:
+        # The store generation is shared arena state: read it under the
+        # RWLock like every other store access (FCA002), and *outside*
+        # the mutex — write() holds the write lock with the mutex
+        # released, so nesting rw inside mutex here would let a
+        # monitoring poll stall the queue behind an in-flight write.
+        with self._rw.read_locked():
+            generation = self.store.generation
         # Copy under the mutex, compute outside it: percentiles sort
         # the (bounded) latency window, and the submit/dispatch hot
         # path must not stall behind a monitoring poll.
@@ -615,7 +628,7 @@ class SearchService:
                 batch_size_hist=dict(self._batch_sizes),
                 coalesced=self._coalesced, direct=self._direct,
                 writes=self._writes,
-                generation=self.store.generation)
+                generation=generation)
         return ServiceStats(
             p50_latency=LatencyReservoir.percentile(sample, 50.0),
             p99_latency=LatencyReservoir.percentile(sample, 99.0),

@@ -31,6 +31,7 @@ import numpy as np
 from dataclasses import replace
 from typing import Any, Hashable, List, Optional, Sequence, Union
 
+from ..analysis.markers import hot_path, lock_free, requires_lock
 from ..cam.states import normalize_word
 from ..errors import OperationError, TernaryValueError
 from ..fabric.batch import normalize_queries
@@ -118,26 +119,32 @@ class CamStore:
     # -- layout ------------------------------------------------------------------
 
     @property
+    @lock_free
     def width(self) -> int:
         return self.config.width
 
     @property
+    @lock_free
     def design(self) -> DesignKind:
         return self.config.design
 
     @property
+    @lock_free
     def banks(self) -> int:
         return self.config.banks
 
     @property
+    @lock_free
     def capacity(self) -> int:
         return self.backend.capacity
 
     @property
+    @requires_lock("read")
     def occupancy(self) -> int:
         return self.backend.occupancy
 
     @property
+    @requires_lock("read")
     def generation(self) -> int:
         """Monotonic write-generation counter of this store's content.
 
@@ -162,6 +169,7 @@ class CamStore:
         self._writes += 1
         self._generation += 1  # invalidates every cached result
 
+    @requires_lock("write")
     def insert(self, word: str, key: Optional[Hashable] = None, *,
                priority: Optional[float] = None,
                payload: Any = None) -> Match:
@@ -179,6 +187,7 @@ class CamStore:
         self._wrote()
         return match
 
+    @requires_lock("write")
     def insert_many(self, words: Sequence[str],
                     keys: Optional[Sequence[Hashable]] = None, *,
                     priorities: Optional[Sequence[float]] = None,
@@ -210,12 +219,14 @@ class CamStore:
         self._wrote()
         return matches
 
+    @requires_lock("write")
     def delete(self, key: Hashable) -> Match:
         """Remove an entry; its row returns to the backend's free pool."""
         match = self.backend.delete(key)
         self._wrote()
         return match
 
+    @requires_lock("write")
     def update(self, key: Hashable, word: str, *,
                payload: Any = None) -> Match:
         """Rewrite an entry's word in place (placement/priority kept)."""
@@ -223,9 +234,11 @@ class CamStore:
         self._wrote()
         return match
 
+    @requires_lock("read")
     def get(self, key: Hashable) -> Match:
         return self.backend.get(key)
 
+    @requires_lock("read")
     def entries(self) -> List[Match]:
         """All live entries in global priority order."""
         return self.backend.entries()
@@ -277,6 +290,7 @@ class CamStore:
         return replace(hit, matches=list(hit.matches), energy=0.0,
                        latency=0.0, cached=True)
 
+    @requires_lock("read")
     def search(self, query: Union[Query, str],
                mask: Optional[str] = None, *,
                use_cache: bool = True) -> QueryResult:
@@ -284,11 +298,14 @@ class CamStore:
         return self.search_batch([query], mask=mask,
                                  use_cache=use_cache)[0]
 
+    @requires_lock("read")
     def search_first(self, query: Union[Query, str],
                      mask: Optional[str] = None) -> Optional[Match]:
         """Priority-encoder output: the best-priority match, or None."""
         return self.search(query, mask).best
 
+    @hot_path
+    @requires_lock("read")
     def search_batch(self, queries: Sequence[Union[Query, str]],
                      mask: Optional[str] = None, *,
                      use_cache: bool = True) -> List[QueryResult]:
@@ -344,6 +361,7 @@ class CamStore:
     # -- telemetry ---------------------------------------------------------------
 
     @property
+    @requires_lock("read")
     def stats(self) -> StoreStats:
         cache = self._cache
         return StoreStats(

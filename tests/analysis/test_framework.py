@@ -1,0 +1,216 @@
+"""Framework-level tests: registry, noqa, baseline, reporters, CLI.
+
+The rules themselves are covered by golden fixtures in
+``test_lint_rules.py``; here we prove the machinery around them — the
+parts CI and editors depend on (exit codes, output formats, suppression
+semantics).
+"""
+
+import json
+import re
+
+from pathlib import Path
+
+import pytest
+
+from fecam.analysis.__main__ import (EXIT_CLEAN, EXIT_ERROR,
+                                     EXIT_VIOLATIONS, main)
+from fecam.analysis.baseline import (apply_baseline, load_baseline,
+                                     write_baseline)
+from fecam.analysis.linter import (LintError, all_rules, load_module,
+                                   run_lint)
+from fecam.analysis.reporters import render_json, render_text
+
+BAD_SOURCE = """\
+class Engine:
+    def rewrite(self, planes, row, value):
+        planes.value[row] = value
+"""
+
+BAD_NOQA_CODE = """\
+class Engine:
+    def rewrite(self, planes, row, value):
+        planes.value[row] = value  # fecam: noqa[FCA001]
+"""
+
+BAD_NOQA_BARE = """\
+class Engine:
+    def rewrite(self, planes, row, value):
+        planes.value[row] = value  # fecam: noqa
+"""
+
+BAD_NOQA_WRONG = """\
+class Engine:
+    def rewrite(self, planes, row, value):
+        planes.value[row] = value  # fecam: noqa[FCA005]
+"""
+
+
+def lint_file(tmp_path, source, name="mod.py", **kwargs):
+    path = tmp_path / name
+    path.write_text(source)
+    return run_lint([path], root=tmp_path, **kwargs)
+
+
+class TestRegistry:
+    def test_six_plus_rules_with_unique_codes(self):
+        rules = all_rules()
+        codes = [rule.code for rule in rules]
+        assert len(codes) >= 6
+        assert len(set(codes)) == len(codes)
+        assert codes == sorted(codes)
+        assert all(re.fullmatch(r"FCA\d{3}", code) for code in codes)
+
+    def test_rules_carry_name_and_description(self):
+        for rule in all_rules():
+            assert rule.name and rule.description
+
+
+class TestNoqa:
+    def test_matching_code_suppresses(self, tmp_path):
+        result = lint_file(tmp_path, BAD_NOQA_CODE)
+        assert result.ok
+        assert result.suppressed_noqa == 1
+
+    def test_bare_noqa_suppresses_all(self, tmp_path):
+        assert lint_file(tmp_path, BAD_NOQA_BARE).ok
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        result = lint_file(tmp_path, BAD_NOQA_WRONG)
+        assert not result.ok
+        assert result.violations[0].code == "FCA001"
+
+    def test_noqa_parsing(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text("x = 1  # fecam: noqa[FCA001, FCA002]\ny = 2\n")
+        module = load_module(path)
+        assert module.noqa == {1: frozenset({"FCA001", "FCA002"})}
+
+
+class TestSelectIgnore:
+    def test_select_runs_only_requested_rule(self, tmp_path):
+        result = lint_file(tmp_path, BAD_SOURCE, select={"FCA006"})
+        assert result.ok
+
+    def test_ignore_skips_rule(self, tmp_path):
+        result = lint_file(tmp_path, BAD_SOURCE, ignore={"FCA001"})
+        assert result.ok
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_known_violations(self, tmp_path):
+        result = lint_file(tmp_path, BAD_SOURCE)
+        assert not result.ok
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, result.violations)
+        filtered = apply_baseline(result, load_baseline(baseline_path))
+        assert filtered.ok
+        assert filtered.suppressed_baseline == len(result.violations)
+
+    def test_new_violations_still_fail(self, tmp_path):
+        result = lint_file(tmp_path, BAD_SOURCE)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, result.violations)
+        both = BAD_SOURCE + (
+            "    def clear(self, planes, row):\n"
+            "        planes.care[row] = 0\n")
+        result2 = lint_file(tmp_path, both)
+        filtered = apply_baseline(result2, load_baseline(baseline_path))
+        assert len(filtered.violations) == 1
+        assert "clear" in filtered.violations[0].message
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_shipped_baseline_is_empty(self):
+        repo = Path(__file__).resolve().parents[2]
+        shipped = repo / "analysis-baseline.json"
+        assert shipped.exists()
+        assert load_baseline(shipped) == set()
+
+
+class TestReporters:
+    def test_text_format(self, tmp_path):
+        result = lint_file(tmp_path, BAD_SOURCE)
+        text = render_text(result)
+        assert re.search(r"mod\.py:3:\d+: FCA001 ", text)
+        assert "1 violation (1 files checked)" in text
+
+    def test_json_format(self, tmp_path):
+        result = lint_file(tmp_path, BAD_SOURCE)
+        data = json.loads(render_json(result))
+        assert data["ok"] is False
+        assert data["files_checked"] == 1
+        violation = data["violations"][0]
+        assert violation["code"] == "FCA001"
+        assert violation["path"] == "mod.py"
+        assert violation["line"] == 3
+
+
+class TestErrors:
+    def test_syntax_error_is_lint_error(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        with pytest.raises(LintError):
+            run_lint([path])
+
+    def test_missing_path_is_lint_error(self, tmp_path):
+        with pytest.raises(LintError):
+            run_lint([tmp_path / "missing.py"])
+
+
+class TestCli:
+    def test_clean_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.py"
+        path.write_text("x = 1\n")
+        assert main(["lint", str(path)]) == EXIT_CLEAN
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text(BAD_SOURCE)
+        assert main(["lint", str(path)]) == EXIT_VIOLATIONS
+        assert "FCA001" in capsys.readouterr().out
+
+    def test_missing_path_exit_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "gone.py")]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text(BAD_SOURCE)
+        assert main(["lint", str(path), "--format", "json"]) \
+            == EXIT_VIOLATIONS
+        data = json.loads(capsys.readouterr().out)
+        assert data["violations"][0]["code"] == "FCA001"
+
+    def test_select_and_ignore(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text(BAD_SOURCE)
+        assert main(["lint", str(path), "--select", "FCA006"]) == EXIT_CLEAN
+        assert main(["lint", str(path), "--ignore", "FCA001"]) == EXIT_CLEAN
+        capsys.readouterr()
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text(BAD_SOURCE)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(path), "--write-baseline",
+                     str(baseline), "--root", str(tmp_path)]) == EXIT_CLEAN
+        assert main(["lint", str(path), "--baseline", str(baseline),
+                     "--root", str(tmp_path)]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_rules_subcommand(self, capsys):
+        assert main(["rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for code in ("FCA001", "FCA002", "FCA003", "FCA004", "FCA005",
+                     "FCA006"):
+            assert code in out

@@ -1,0 +1,32 @@
+"""Service-suite wiring for the runtime sanitizer.
+
+When the suite runs with ``FECAM_SANITIZE=1`` (CI re-runs the stress
+subset this way), every :class:`~fecam.service.SearchService` a test
+builds instruments itself at construction.  This autouse fixture makes
+that instrumentation *load-bearing*: the violation collector is reset
+before each test and asserted empty after it, so any unlocked arena
+access or missed generation bump inside the storm scenarios fails the
+exact test that provoked it.
+
+Without the env var the fixture is inert and the suite runs exactly as
+before.
+"""
+
+import pytest
+
+from fecam.analysis import sanitize
+
+
+@pytest.fixture(autouse=True)
+def assert_sanitizer_clean():
+    if not sanitize.enabled():
+        yield
+        return
+    sanitize.reset()
+    yield
+    violations = sanitize.violations()
+    sanitize.reset()
+    assert not violations, (
+        "sanitizer violations during test:\n" + "\n".join(
+            f"  [{v.kind}] {v.op} ({v.thread}): {v.message}"
+            for v in violations))
