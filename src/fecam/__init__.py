@@ -40,6 +40,12 @@ Layered public API:
   isolation (reader-writer locking, write-generation-tagged results),
   bounded-queue backpressure, sync and ``asyncio`` front doors, and
   :class:`~fecam.service.ServiceStats` telemetry.
+* :mod:`fecam.durable` — **persistence and live reconfiguration**: a
+  :class:`~fecam.durable.DurableCamStore` journaling every mutation to
+  a CRC-framed write-ahead log, generation-keyed arena snapshots,
+  bit-identical crash :func:`~fecam.durable.recover`, and online
+  :func:`~fecam.durable.reshard` of a served store's bank fan-out with
+  a bounded write-locked pause.
 * :mod:`fecam.obs` — **unified observability**: one
   :class:`~fecam.obs.MetricsRegistry` (counters/gauges/histograms)
   folding the four stats silos into a named, labeled snapshot with
@@ -83,6 +89,7 @@ from . import functional  # noqa: F401
 from . import fabric  # noqa: F401
 from . import store  # noqa: F401
 from . import service  # noqa: F401
+from . import durable  # noqa: F401
 from . import obs  # noqa: F401
 from . import apps  # noqa: F401
 from . import bench  # noqa: F401
@@ -100,5 +107,5 @@ __all__ = ["DesignKind", "CamStore", "StoreConfig", "Query", "Match",
            "StoreStats", "TcamFabric", "DesignPoint", "Fom", "evaluate",
            "sweep", "SearchService", "ServedResult", "ServiceStats",
            "planes", "spice", "devices", "cam", "arch", "metrics",
-           "functional", "fabric", "store", "service", "obs", "apps",
-           "bench", "__version__"]
+           "functional", "fabric", "store", "service", "durable", "obs",
+           "apps", "bench", "__version__"]

@@ -1,0 +1,40 @@
+"""fecam.durable — persistence and live reconfiguration for stores.
+
+The volatile tiers (:mod:`fecam.store`, :mod:`fecam.service`) already
+tag every served result with a write generation; this package makes the
+generation sequence durable.  A :class:`DurableCamStore` appends one
+CRC-framed record per mutation to a segmented write-ahead log
+(:class:`WriteAheadLog`), periodically serializes the whole arena as a
+generation-keyed snapshot, and :func:`recover` rebuilds a bit-identical
+store from snapshot + WAL tail after any crash — including torn tails,
+corrupt snapshots (older fallbacks), and crashes injected mid-reshard
+(:class:`CrashPoint` names every site the layer consults).
+
+:func:`reshard` changes the bank fan-out of a *served* store under live
+traffic: background build, write drain through the WAL's resolved
+records, one write-locked swap.
+"""
+
+from .crash import CRASH_SITES, CrashPoint
+from .reshard import ReshardReport, reshard, reshard_inline
+from .snapshot import (load_snapshot, snapshot_candidates,
+                       write_snapshot)
+from .store import DurabilityConfig, DurableCamStore, apply_op, recover
+from .wal import FSYNC_POLICIES, WriteAheadLog
+
+__all__ = [
+    "CRASH_SITES",
+    "CrashPoint",
+    "DurabilityConfig",
+    "DurableCamStore",
+    "FSYNC_POLICIES",
+    "ReshardReport",
+    "WriteAheadLog",
+    "apply_op",
+    "load_snapshot",
+    "recover",
+    "reshard",
+    "reshard_inline",
+    "snapshot_candidates",
+    "write_snapshot",
+]

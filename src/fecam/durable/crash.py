@@ -1,0 +1,88 @@
+"""Deterministic fault injection for the durability layer.
+
+A :class:`CrashPoint` arms exactly one *site* — a named instant inside
+the WAL append, snapshot, or reshard path — and models the process
+dying there: the hook raises :class:`~fecam.errors.SimulatedCrash`, and
+whatever bytes already reached the filesystem are the surviving state
+the recovery tests must rebuild from.  Sites fire at most once (a real
+process dies once), and ``after=N`` skips the first N hits so a test
+can crash on the (N+1)-th append rather than the first.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulatedCrash
+
+__all__ = ["CrashPoint", "CRASH_SITES"]
+
+#: Every site the durability layer consults, in code order.
+CRASH_SITES = (
+    "wal.append.before",   # op applied in memory, nothing logged yet
+    "wal.append.torn",     # half the frame reaches the file (torn write)
+    "wal.append.after",    # frame fully flushed
+    "snapshot.before",     # nothing written
+    "snapshot.torn",       # half a snapshot file survives (corrupt)
+    "snapshot.after",      # snapshot durable, WAL not yet compacted
+    "reshard.build",       # mid background build, old backend still live
+    "reshard.commit",      # new backend built, reshard record not logged
+    "reshard.after",       # swap complete and logged
+)
+
+
+class CrashPoint:
+    """One armed crash site.
+
+    >>> cp = CrashPoint("wal.append.after", after=2)
+    >>> cp.fire("snapshot.before")  # other sites never fire
+    >>> cp.fire("wal.append.after")  # hit 1 of the skip budget
+    >>> cp.fire("wal.append.after")  # hit 2
+    >>> cp.fire("wal.append.after")
+    Traceback (most recent call last):
+        ...
+    fecam.errors.SimulatedCrash: simulated crash at 'wal.append.after' (hit 3)
+    """
+
+    def __init__(self, site: str, *, after: int = 0):
+        if site not in CRASH_SITES:
+            raise ValueError(f"unknown crash site {site!r}; "
+                             f"one of {CRASH_SITES}")
+        if after < 0:
+            raise ValueError("after must be non-negative")
+        self.site = site
+        self.after = after
+        self.hits = 0
+        self.fired = False
+
+    def check(self, site: str) -> bool:
+        """Count a hit; ``True`` when the crash is due *now*.
+
+        The torn-write path uses this directly: a due hit first writes
+        the partial frame, then raises via :meth:`crash`.
+        """
+        if self.fired or site != self.site:
+            return False
+        self.hits += 1
+        if self.hits > self.after:
+            self.fired = True
+            return True
+        return False
+
+    def crash(self, site: str) -> None:
+        """Raise the simulated crash (the due :meth:`check` follow-up)."""
+        raise SimulatedCrash(
+            f"simulated crash at {site!r} (hit {self.hits})")
+
+    def fire(self, site: str) -> None:
+        """Count a hit and crash if due — the common one-call form."""
+        if self.check(site):
+            self.crash(site)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "fired" if self.fired else f"{self.hits}/{self.after} hits"
+        return f"<CrashPoint {self.site} ({state})>"
+
+
+def fire(crash_point, site: str) -> None:
+    """``crash_point.fire(site)`` tolerating ``None`` (the common gate)."""
+    if crash_point is not None:
+        crash_point.fire(site)

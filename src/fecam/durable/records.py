@@ -1,0 +1,94 @@
+"""Binary framing for WAL segments and snapshot files.
+
+One frame is ``header + payload``: a fixed little-endian header
+(CRC-32 of the payload, payload length, write generation) followed by
+the pickled payload.  Files open with an 8-byte magic tagging the kind
+and format version.  Decoding is paranoid by construction — a frame is
+accepted only when its full length is present *and* its CRC matches —
+so a torn tail (the expected shape of a crash) is detected, never
+misread, and :func:`scan_frames` reports exactly how many bytes of a
+file are intact so recovery can truncate the rest.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+
+from typing import Any, List, Tuple
+
+from ..errors import DurabilityError
+
+__all__ = ["WAL_MAGIC", "SNAP_MAGIC", "encode_frame", "scan_frames",
+           "read_single_frame"]
+
+#: 8-byte file preambles; the trailing digit is the format version.
+WAL_MAGIC = b"FECAMW1\n"
+SNAP_MAGIC = b"FECAMS1\n"
+
+#: crc32(payload), len(payload), generation — little-endian, fixed.
+_HEADER = struct.Struct("<IIQ")
+
+
+def encode_frame(generation: int, payload_obj: Any) -> bytes:
+    """One self-verifying frame for ``payload_obj`` at ``generation``."""
+    payload = pickle.dumps(payload_obj, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _HEADER.pack(zlib.crc32(payload), len(payload), generation)
+    return header + payload
+
+
+def scan_frames(data: bytes, *, magic: bytes,
+                path: str = "<bytes>") -> Tuple[List[Tuple[int, Any]], int, bool]:
+    """Decode every intact frame of a file image.
+
+    Returns ``(frames, valid_bytes, torn)``: the decoded
+    ``(generation, payload)`` pairs, how many leading bytes of ``data``
+    they (plus the magic) occupy, and whether trailing bytes past that
+    point exist (a torn tail).  A file without its magic is corrupt
+    outright — that is a :class:`DurabilityError`, not a torn tail,
+    because no crash can tear the first write of a segment *and* leave
+    later bytes behind.
+    """
+    if len(data) < len(magic):
+        # A crash can leave a segment with a partial (or empty) magic:
+        # nothing intact, everything torn.
+        return [], 0, len(data) > 0
+    if data[:len(magic)] != magic:
+        raise DurabilityError(
+            f"{path}: bad magic {data[:len(magic)]!r} "
+            f"(expected {magic!r})")
+    frames: List[Tuple[int, Any]] = []
+    offset = len(magic)
+    while True:
+        header_end = offset + _HEADER.size
+        if header_end > len(data):
+            break  # torn inside a header
+        crc, length, generation = _HEADER.unpack(
+            data[offset:header_end])
+        payload_end = header_end + length
+        if payload_end > len(data):
+            break  # torn inside a payload
+        payload = data[header_end:payload_end]
+        if zlib.crc32(payload) != crc:
+            break  # flipped or short-written bytes: stop at the tear
+        frames.append((generation, pickle.loads(payload)))
+        offset = payload_end
+    return frames, offset, offset < len(data)
+
+
+def read_single_frame(data: bytes, *, magic: bytes,
+                      path: str = "<bytes>") -> Tuple[int, Any]:
+    """Decode a file that must hold exactly one intact frame (snapshots).
+
+    Unlike WAL tails, a snapshot is atomic-renamed into place, so *any*
+    damage — missing magic, torn frame, trailing junk — makes the whole
+    file invalid and raises :class:`DurabilityError` (recovery then
+    falls back to an older snapshot).
+    """
+    frames, _valid, torn = scan_frames(data, magic=magic, path=path)
+    if torn or len(frames) != 1:
+        raise DurabilityError(
+            f"{path}: expected exactly one intact frame, found "
+            f"{len(frames)}{' plus a torn tail' if torn else ''}")
+    return frames[0]

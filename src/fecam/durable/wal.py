@@ -1,0 +1,291 @@
+"""Write-ahead log: segmented, CRC-framed, generation-keyed.
+
+One :class:`WriteAheadLog` owns the ``wal-*.log`` files of a durability
+directory.  Every mutating store operation appends exactly one frame
+(see :mod:`fecam.durable.records`) tagged with the store's *post-op*
+write generation, so the log is a dense generation sequence — recovery
+can verify replay stays in lockstep, and a gap that is not a torn tail
+is corruption, not data.
+
+Durability policy is explicit (:attr:`fsync`):
+
+* ``"always"`` — fsync after every append (strongest, slowest);
+* ``"interval"`` — flush every append, fsync at most every
+  ``fsync_interval_s`` seconds (bounded loss window, near-memory
+  throughput — the default);
+* ``"off"`` — flush only, never fsync (test/throughput mode; the OS
+  decides when bytes are durable).
+
+Segments rotate at ``segment_bytes`` and are named by the generation of
+their first record (``wal-<gen:016d>.log``), so compaction after a
+snapshot is whole-file deletion and recovery orders segments by name.
+
+Append handles open lazily in append mode: recovery may truncate a torn
+tail from the newest segment, and an eagerly-opened handle positioned
+past the truncated end would write a sparse gap the scanner reads as a
+tear.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import DurabilityError
+from . import crash as _crash
+from .records import WAL_MAGIC, encode_frame, scan_frames
+
+__all__ = ["WriteAheadLog", "FSYNC_POLICIES"]
+
+FSYNC_POLICIES = ("always", "interval", "off")
+
+
+def _segment_path(directory: str, first_generation: int) -> str:
+    return os.path.join(directory, f"wal-{first_generation:016d}.log")
+
+
+def _segment_first_generation(name: str) -> int:
+    return int(name[len("wal-"):-len(".log")])
+
+
+def list_segments(directory: str) -> List[str]:
+    """Absolute segment paths, generation order (== name order)."""
+    names = sorted(name for name in os.listdir(directory)
+                   if name.startswith("wal-") and name.endswith(".log"))
+    return [os.path.join(directory, name) for name in names]
+
+
+class WriteAheadLog:
+    """The append/scan/compact surface over one directory of segments.
+
+    ``on_append(seconds, nbytes)`` and ``on_fsync(seconds)`` are
+    optional telemetry taps (the obs adapter feeds histograms through
+    them); they run inline on the append path, so keep them cheap.
+    """
+
+    def __init__(self, directory: str, *, fsync: str = "interval",
+                 fsync_interval_s: float = 0.05,
+                 segment_bytes: int = 1 << 22,
+                 crash_point: Optional[_crash.CrashPoint] = None):
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        if fsync_interval_s < 0:
+            raise DurabilityError("fsync_interval_s must be non-negative")
+        if segment_bytes < 1:
+            raise DurabilityError("segment_bytes must be positive")
+        self.directory = directory
+        self.fsync = fsync
+        self.fsync_interval_s = fsync_interval_s
+        self.segment_bytes = segment_bytes
+        self.crash_point = crash_point
+        os.makedirs(directory, exist_ok=True)
+        self._handle = None          # lazily-opened current segment
+        self._handle_path: Optional[str] = None
+        self._handle_bytes = 0
+        self._last_fsync = time.monotonic()
+        self._unsynced = False
+        # Telemetry: counters plus optional per-event callbacks.
+        self.appended_records = 0
+        self.appended_bytes = 0
+        self.fsyncs = 0
+        self.rotations = 0
+        self.on_append: Optional[Callable[[float, int], None]] = None
+        self.on_fsync: Optional[Callable[[float], None]] = None
+
+    # -- append path -------------------------------------------------------------
+
+    def _open_for(self, generation: int):
+        """The handle appends go to, opening/rotating lazily."""
+        if self._handle is not None \
+                and self._handle_bytes >= self.segment_bytes:
+            self._rotate()
+        if self._handle is None:
+            segments = list_segments(self.directory)
+            if segments:
+                path = segments[-1]
+                size = os.path.getsize(path)
+                if size >= self.segment_bytes:
+                    path = _segment_path(self.directory, generation)
+                    size = 0
+            else:
+                path = _segment_path(self.directory, generation)
+                size = 0
+            # "ab" positions at the *current* end even if recovery just
+            # truncated the file — never past it (no sparse gaps).
+            self._handle = open(path, "ab")
+            self._handle_path = path
+            self._handle_bytes = size
+        return self._handle
+
+    def _rotate(self) -> None:
+        handle, self._handle = self._handle, None
+        self._handle_path = None
+        self._handle_bytes = 0
+        if handle is not None:
+            if self._unsynced and self.fsync != "off":
+                os.fsync(handle.fileno())
+                self._unsynced = False
+            handle.close()
+            self.rotations += 1
+
+    def append(self, generation: int, op: Any) -> None:
+        """Log one operation at its post-op generation.
+
+        Flush-to-OS always happens (a simulated crash preserves flushed
+        bytes); fsync follows the configured policy.
+        """
+        cp = self.crash_point
+        if cp is not None:
+            cp.fire("wal.append.before")
+        frame = encode_frame(generation, op)
+        # The timing pair costs real time on a several-microsecond hot
+        # path — only pay it when a telemetry tap is listening.
+        on_append = self.on_append
+        start = time.perf_counter() if on_append is not None else 0.0
+        handle = self._open_for(generation)
+        if self._handle_bytes == 0:
+            # New segment: magic plus first frame in one write, so the
+            # only torn states a crash can leave are a partial preamble
+            # (repair deletes the record-less segment) or a partial
+            # frame (repair truncates it).
+            frame = WAL_MAGIC + frame
+        if cp is not None and cp.check("wal.append.torn"):
+            handle.write(frame[:max(1, len(frame) // 2)])
+            handle.flush()
+            cp.crash("wal.append.torn")
+        handle.write(frame)
+        handle.flush()
+        self._handle_bytes += len(frame)
+        self._unsynced = True
+        self.appended_records += 1
+        self.appended_bytes += len(frame)
+        if on_append is not None:
+            on_append(time.perf_counter() - start, len(frame))
+        self._maybe_fsync(handle)
+        if cp is not None:
+            cp.fire("wal.append.after")
+
+    def _maybe_fsync(self, handle) -> None:
+        if self.fsync == "off":
+            return
+        now = time.monotonic()
+        if self.fsync == "interval" \
+                and now - self._last_fsync < self.fsync_interval_s:
+            return
+        start = time.perf_counter()
+        os.fsync(handle.fileno())
+        self._last_fsync = now
+        self._unsynced = False
+        self.fsyncs += 1
+        if self.on_fsync is not None:
+            self.on_fsync(time.perf_counter() - start)
+
+    def sync(self) -> None:
+        """Force an fsync of the open segment (checkpoint barrier)."""
+        if self._handle is not None and self._unsynced:
+            start = time.perf_counter()
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._last_fsync = time.monotonic()
+            self._unsynced = False
+            self.fsyncs += 1
+            if self.on_fsync is not None:
+                self.on_fsync(time.perf_counter() - start)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync() if self.fsync != "off" else self._handle.flush()
+            self._handle.close()
+            self._handle = None
+            self._handle_path = None
+
+    # -- scan / repair / compact --------------------------------------------------
+
+    def scan(self, *, repair: bool = False) -> List[Tuple[int, Any]]:
+        """Decode every intact record, oldest first.
+
+        Enforces the dense-generation invariant across segment
+        boundaries.  A torn tail on the *newest* segment is the
+        expected crash shape: scanning stops there, and with
+        ``repair=True`` the damaged bytes are truncated away (a
+        record-less segment is deleted outright) so subsequent appends
+        extend a clean file.  Damage anywhere else — mid-log tears,
+        generation gaps, overlapping segments — raises
+        :class:`DurabilityError`.
+        """
+        if self._handle is not None:
+            self._handle.flush()
+        records: List[Tuple[int, Any]] = []
+        segments = list_segments(self.directory)
+        for index, path in enumerate(segments):
+            last = index == len(segments) - 1
+            with open(path, "rb") as fh:
+                data = fh.read()
+            frames, valid_bytes, torn = scan_frames(
+                data, magic=WAL_MAGIC, path=path)
+            if torn and not last:
+                raise DurabilityError(
+                    f"{path}: torn frame followed by newer segments — "
+                    "mid-log corruption, not a crash tail")
+            name_gen = _segment_first_generation(os.path.basename(path))
+            if frames and frames[0][0] != name_gen:
+                raise DurabilityError(
+                    f"{path}: first record generation {frames[0][0]} "
+                    f"does not match the segment name")
+            for generation, op in frames:
+                if records and generation != records[-1][0] + 1:
+                    raise DurabilityError(
+                        f"{path}: generation {generation} follows "
+                        f"{records[-1][0]} — the log must be dense")
+                records.append((generation, op))
+            if torn and repair:
+                self._truncate_tail(path, valid_bytes, bool(frames))
+        return records
+
+    def _truncate_tail(self, path: str, valid_bytes: int,
+                       has_records: bool) -> None:
+        # Never truncate through an open append handle — drop it first
+        # so the next append reopens at the repaired end.
+        if self._handle is not None and self._handle_path == path:
+            self._handle.close()
+            self._handle = None
+            self._handle_path = None
+        if not has_records:
+            os.unlink(path)  # nothing intact: the segment never existed
+            return
+        with open(path, "r+b") as fh:
+            fh.truncate(valid_bytes)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def compact(self, up_to_generation: int) -> int:
+        """Delete whole segments made redundant by a snapshot.
+
+        A segment may go once the *next* segment starts at or before
+        ``up_to_generation + 1`` (every record it holds is covered by
+        the snapshot).  The newest segment always stays — it is the
+        open append target.  Returns the number of segments deleted.
+        """
+        segments = list_segments(self.directory)
+        deleted = 0
+        for path, successor in zip(segments, segments[1:]):
+            next_gen = _segment_first_generation(
+                os.path.basename(successor))
+            if next_gen <= up_to_generation + 1:
+                if self._handle is not None and self._handle_path == path:
+                    self._handle.close()  # pragma: no cover - defensive
+                    self._handle = None
+                    self._handle_path = None
+                os.unlink(path)
+                deleted += 1
+            else:
+                break
+        return deleted
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<WriteAheadLog {self.directory!r} fsync={self.fsync} "
+                f"records={self.appended_records} "
+                f"bytes={self.appended_bytes}>")

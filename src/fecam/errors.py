@@ -71,6 +71,27 @@ class ServiceOverloaded(ServiceError):
     """
 
 
+class DurabilityError(OperationError):
+    """Raised by the :mod:`fecam.durable` persistence layer.
+
+    Examples: a corrupt snapshot with no older valid fallback, a WAL
+    generation gap that cannot be explained by a torn tail, or a
+    recovery replay that desynchronizes from the recorded generations.
+    Torn WAL *tails* are never an error — they are the expected shape
+    of a crash and are truncated during recovery.
+    """
+
+
+class SimulatedCrash(FecamError):
+    """Raised by an armed :class:`~fecam.durable.CrashPoint` hook.
+
+    Fault-injection tests arm a crash point at a named site (after N
+    WAL appends, mid-snapshot, mid-reshard); the raise models the
+    process dying at that instant, leaving whatever bytes already
+    reached the filesystem as the surviving state to recover from.
+    """
+
+
 class ObservabilityError(FecamError):
     """Raised for misuse of the :mod:`fecam.obs` telemetry layer.
 

@@ -122,6 +122,43 @@ class CamBank:
             raise
         return rows
 
+    def place_many(self, rows: Sequence[int], words: Sequence[str], *,
+                   packed=None) -> None:
+        """Write words at caller-fixed rows (the restore/replay path).
+
+        Unlike :meth:`insert_many`, the rows are chosen by the caller —
+        a durable reshard record carries the exact placements the live
+        reshard produced, and replaying it must reproduce them
+        bit-for-bit rather than re-running the allocator.  Every target
+        row must currently be free.
+        """
+        if len(rows) != len(words):
+            raise OperationError("rows and words must have equal length")
+        placed = set()
+        free = set(self._free)
+        for row in rows:
+            if not 0 <= row < self.cam.rows:
+                raise OperationError(f"row {row} out of range")
+            if row not in free or row in placed:
+                raise OperationError(
+                    f"row {row} of bank {self.bank_id} is not free")
+            placed.add(row)
+        self.cam.write_many(list(rows), list(words), packed=packed)
+        self._free = [row for row in self._free if row not in placed]
+        heapq.heapify(self._free)
+
+    def sync_free_rows(self) -> None:
+        """Rebuild the free heap from the valid plane.
+
+        Snapshot restore loads arena content underneath the bank
+        (planes-level, no per-row inserts); afterwards the allocator's
+        free pool is exactly the invalid rows — the same derivation the
+        adopted-cam constructor path uses.
+        """
+        self._free = [row for row in range(self.cam.rows)
+                      if not self.cam._valid[row]]
+        heapq.heapify(self._free)
+
     def delete(self, row: int) -> None:
         """Erase an occupied row and return it to the free pool."""
         if not 0 <= row < self.cam.rows:

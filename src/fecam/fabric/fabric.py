@@ -346,6 +346,49 @@ class TcamFabric:
             self._row_entry[entry.bank][entry.row] = entry
         return entries
 
+    def adopt_entries(self, entries: Sequence[FabricEntry], *,
+                      write: bool = True) -> None:
+        """Register restored entries at their recorded placements.
+
+        The durable-recovery hook: a fresh fabric adopts a previously
+        serialized table without re-running the allocator, so bank/row
+        placements come back exactly as recorded.  With ``write=True``
+        every word is written through its bank at its fixed row (the
+        reshard-record replay path); with ``write=False`` the arena
+        content is assumed already restored (the snapshot path loads
+        the planes wholesale) and only the bookkeeping — entry maps,
+        free pools, sequence counter — is rebuilt.
+        """
+        if self._entries:
+            raise OperationError(
+                "adopt_entries needs a fresh (empty) fabric")
+        if write:
+            words = [entry.word for entry in entries]
+            value, care = pack_words(words, self.width)
+            by_bank: Dict[int, List[int]] = {}
+            for i, entry in enumerate(entries):
+                if not 0 <= entry.bank < self.num_banks:
+                    raise OperationError(
+                        f"entry {entry.key!r} places bank {entry.bank} "
+                        f"out of range")
+                by_bank.setdefault(entry.bank, []).append(i)
+            for bank_id, indices in by_bank.items():
+                self.banks[bank_id].place_many(
+                    [entries[i].row for i in indices],
+                    [words[i] for i in indices],
+                    packed=(value[indices], care[indices]))
+        else:
+            for bank in self.banks:
+                bank.sync_free_rows()
+        for entry in entries:
+            if entry.key in self._entries:
+                raise OperationError(
+                    f"duplicate key {entry.key!r} in adopted entries")
+            self._entries[entry.key] = entry
+            self._row_entry[entry.bank][entry.row] = entry
+        self._generations = [g + 1 for g in self._generations]
+        self._seq = 1 + max((entry.seq for entry in entries), default=-1)
+
     def delete(self, key: Hashable) -> FabricEntry:
         """Remove an entry; its row returns to the bank's free pool."""
         entry = self.entry(key)

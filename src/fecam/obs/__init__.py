@@ -41,8 +41,8 @@ from typing import (TYPE_CHECKING, Any, Callable, List, Optional,
 
 from . import adapters, export, http, slowlog, trace  # noqa: F401
 from .adapters import (BATCH_SIZE_BUCKETS, instrument, instrument_cam,
-                       instrument_fabric, instrument_service,
-                       instrument_store)
+                       instrument_durable, instrument_fabric,
+                       instrument_service, instrument_store)
 from .export import lint_prometheus, render_json_lines, render_prometheus
 from .http import PROMETHEUS_CONTENT_TYPE, MetricsServer
 from .registry import (DEFAULT_LATENCY_BUCKETS, Counter, FamilySnapshot,
@@ -64,7 +64,8 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     # adapters
     "instrument", "instrument_service", "instrument_store",
-    "instrument_fabric", "instrument_cam", "BATCH_SIZE_BUCKETS",
+    "instrument_fabric", "instrument_cam", "instrument_durable",
+    "BATCH_SIZE_BUCKETS",
     # tracing
     "Span", "Trace", "Tracer", "EveryN", "SeededRandom", "JsonLinesSink",
     "activated", "active", "record_span", "stage",

@@ -24,7 +24,8 @@ from typing import Callable, List
 from .registry import MetricsRegistry
 
 __all__ = ["instrument", "instrument_service", "instrument_store",
-           "instrument_fabric", "instrument_cam", "BATCH_SIZE_BUCKETS"]
+           "instrument_fabric", "instrument_cam", "instrument_durable",
+           "BATCH_SIZE_BUCKETS"]
 
 #: Buckets for the mirrored batch-size histogram: powers of two up to
 #: the largest max_batch anyone realistically configures.
@@ -249,6 +250,81 @@ def instrument_cam(cam, registry: MetricsRegistry,
     return registry.on_collect(hook)
 
 
+def instrument_durable(store, registry: MetricsRegistry) -> Unregister:
+    """Wire a :class:`~fecam.durable.DurableCamStore`'s persistence
+    telemetry: WAL append/fsync and snapshot latency histograms (fed
+    inline through the layer's callback taps), plus collect-time
+    counters for records, bytes, fsyncs, snapshots, and the records
+    replayed by the recovery that produced this store."""
+    h_append = registry.histogram(
+        "fecam_wal_append_seconds",
+        "Wall time of one WAL record append (encode + write + flush).")
+    h_fsync = registry.histogram(
+        "fecam_wal_fsync_seconds",
+        "Wall time of one WAL fsync (policy-dependent frequency).")
+    h_snapshot = registry.histogram(
+        "fecam_snapshot_duration_seconds",
+        "Wall time of one arena snapshot (serialize + fsync + rename).")
+    c_records = registry.counter(
+        "fecam_wal_records_total", "WAL records appended.")
+    c_bytes = registry.counter(
+        "fecam_wal_bytes_total", "WAL bytes appended (frames + magic).")
+    c_fsyncs = registry.counter(
+        "fecam_wal_fsyncs_total", "WAL fsync calls issued.")
+    c_snapshots = registry.counter(
+        "fecam_snapshots_total", "Arena snapshots written.")
+    c_replayed = registry.counter(
+        "fecam_recovery_replayed_records_total",
+        "WAL records replayed by the recovery that built this store.")
+    g_snap_gen = registry.gauge(
+        "fecam_snapshot_generation",
+        "Write-generation of the newest snapshot on disk.")
+
+    wal = store.wal
+    prev_append = wal.on_append
+    prev_fsync = wal.on_fsync
+    prev_snapshot = store.on_snapshot
+
+    # Inline taps chain rather than replace, so stacking adapters (or a
+    # bench harness tapping alongside) keeps everyone fed.
+    def on_append(seconds: float, nbytes: int) -> None:
+        h_append.observe(seconds)
+        if prev_append is not None:
+            prev_append(seconds, nbytes)
+
+    def on_fsync(seconds: float) -> None:
+        h_fsync.observe(seconds)
+        if prev_fsync is not None:
+            prev_fsync(seconds)
+
+    def on_snapshot(seconds: float) -> None:
+        h_snapshot.observe(seconds)
+        if prev_snapshot is not None:
+            prev_snapshot(seconds)
+
+    wal.on_append = on_append
+    wal.on_fsync = on_fsync
+    store.on_snapshot = on_snapshot
+
+    def hook() -> None:
+        c_records.set_total(wal.appended_records)
+        c_bytes.set_total(wal.appended_bytes)
+        c_fsyncs.set_total(wal.fsyncs)
+        c_snapshots.set_total(store.snapshots_taken)
+        c_replayed.set_total(store.recovered_records)
+        g_snap_gen.set(store.snapshot_generation)
+
+    unhook = registry.on_collect(hook)
+
+    def unregister() -> None:
+        unhook()
+        wal.on_append = prev_append
+        wal.on_fsync = prev_fsync
+        store.on_snapshot = prev_snapshot
+
+    return unregister
+
+
 def instrument(obj, registry: MetricsRegistry) -> Unregister:
     """Wire a whole serving object graph into ``registry``.
 
@@ -259,6 +335,7 @@ def instrument(obj, registry: MetricsRegistry) -> Unregister:
     """
     # Imports are local so `fecam.obs` never circularly imports the
     # layers it observes (they import `fecam.obs.trace` for spans).
+    from ..durable.store import DurableCamStore
     from ..functional.engine import TernaryCAM
     from ..fabric.fabric import TcamFabric
     from ..service.service import SearchService
@@ -272,6 +349,8 @@ def instrument(obj, registry: MetricsRegistry) -> Unregister:
         unregisters.append(instrument(obj.store, registry))
     elif isinstance(obj, CamStore):
         unregisters.append(instrument_store(obj, registry))
+        if isinstance(obj, DurableCamStore):
+            unregisters.append(instrument_durable(obj, registry))
         backend = obj.backend
         if isinstance(backend, FabricBackend):
             unregisters.append(instrument(backend.fabric, registry))

@@ -294,6 +294,29 @@ class TernaryPlanes:
         self._bump()
 
     @mutates_planes
+    def load(self, value: np.ndarray, care: np.ndarray,
+             valid: np.ndarray) -> None:
+        """Overwrite all three planes wholesale (snapshot-restore path).
+
+        Writes *into* the existing buffers so views of this arena (and
+        the arena behind this view) stay coherent; a bit-identical load
+        is a no-op like every other mutator.  Durable recovery uses
+        this to reinstate a serialized arena without replaying the
+        per-row write path (no energy is charged — restoring retained
+        ferroelectric state is not a write pulse).
+        """
+        value = np.asarray(value, dtype=np.uint64).reshape(self.value.shape)
+        care = np.asarray(care, dtype=np.uint64).reshape(self.care.shape)
+        valid = np.asarray(valid, dtype=bool).reshape(self.valid.shape)
+        if (self.valid == valid).all() and (self.value == value).all() \
+                and (self.care == care).all():
+            return
+        self.value[...] = value
+        self.care[...] = care
+        self.valid[...] = valid
+        self._bump()
+
+    @mutates_planes
     def clear_row(self, row: int) -> None:
         """Invalidate a row and zero its planes (no ghost matches).
 

@@ -378,6 +378,19 @@ class SearchService:
             self._writes += 1
         return result
 
+    def read(self, fn: Callable[[CamStore], Any]) -> Any:
+        """Run one read-only function under the read lock.
+
+        The consistency door for non-search reads (snapshots, stats
+        sweeps, durable checkpoints): ``fn`` observes a store no writer
+        is mid-mutating, and may ride alongside search dispatches —
+        readers share.  ``fn`` must not mutate the store.
+        """
+        if self.closed:
+            raise ServiceClosed("service is closed")
+        with self._rw.read_locked():
+            return fn(self.store)
+
     def insert(self, word: str, key: Optional[Hashable] = None, *,
                priority: Optional[float] = None,
                payload: Any = None) -> Match:

@@ -55,6 +55,51 @@ class ArrayBackend(SearchBackend):
         """The underlying array (circuit-calibrated engine)."""
         return self._bank.cam
 
+    # -- durable restore ----------------------------------------------------------
+
+    def _register_placements(self, placements) -> None:
+        for key, word, priority, payload, seq, bank, row in placements:
+            if bank != 0:
+                raise OperationError(
+                    f"entry {key!r} places bank {bank}; the array "
+                    f"backend has exactly one bank")
+            match = Match(key=key, word=word, priority=priority, bank=0,
+                          row=row, payload=payload, seq=seq)
+            self._entries[key] = match
+            self._row_entry[row] = match
+
+    @classmethod
+    def from_placements(cls, config: StoreConfig,
+                        placements) -> "ArrayBackend":
+        """Rebuild a backend by writing words at recorded rows.
+
+        ``placements`` rows of ``(key, word, priority, payload, seq,
+        bank, row)`` — the WAL reshard-record payload — are written
+        through the bank at their exact rows, so replay reproduces the
+        live placement bit-for-bit instead of re-running the allocator.
+        """
+        backend = cls(config)
+        words = [p[1] for p in placements]
+        if words:
+            value, care = pack_words(words, config.width)
+            backend._bank.place_many([p[6] for p in placements], words,
+                                     packed=(value, care))
+        backend._register_placements(placements)
+        return backend
+
+    @classmethod
+    def from_snapshot(cls, config: StoreConfig, planes_state,
+                      placements) -> "ArrayBackend":
+        """Rebuild a backend from serialized arena planes plus the
+        entry map (the snapshot-restore path: content loads wholesale,
+        then the allocator and key maps are rebuilt around it)."""
+        backend = cls(config)
+        value, care, valid = planes_state
+        backend._bank.cam.planes.load(value, care, valid)
+        backend._bank.sync_free_rows()
+        backend._register_placements(placements)
+        return backend
+
     # -- layout ------------------------------------------------------------------
 
     @property

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, List, Optional, Sequence
 
 from ..errors import OperationError
-from ..fabric.fabric import TcamFabric
+from ..fabric.fabric import FabricEntry, TcamFabric
 from ..fabric.shard import HashSharding
 from .backend import SearchBackend
 from .config import StoreConfig
@@ -40,6 +40,47 @@ class FabricBackend(SearchBackend):
             width=config.width, design=config.design, sharding=sharding,
             energy_model=config.resolve_energy_model(), cache_size=0)
         self._matches: Dict[Hashable, Match] = {}
+
+    # -- durable restore ----------------------------------------------------------
+
+    def _adopt_placements(self, placements, *, write: bool) -> None:
+        entries = []
+        for key, word, priority, payload, seq, bank, row in placements:
+            entry = FabricEntry(key=key, word=word, priority=priority,
+                                bank=bank, row=row, payload=payload,
+                                seq=seq)
+            entries.append(entry)
+            self._matches[key] = Match(
+                key=key, word=word, priority=priority, bank=bank,
+                row=row, payload=payload, seq=seq)
+        self.fabric.adopt_entries(entries, write=write)
+
+    @classmethod
+    def from_placements(cls, config: StoreConfig,
+                        placements) -> "FabricBackend":
+        """Rebuild a backend by writing words at recorded bank/row slots.
+
+        ``placements`` rows of ``(key, word, priority, payload, seq,
+        bank, row)`` — the WAL reshard-record payload — go through
+        :meth:`TcamFabric.adopt_entries`, so replay reproduces the live
+        placement bit-for-bit instead of re-running the allocator.
+        """
+        backend = cls(config)
+        backend._adopt_placements(placements, write=True)
+        return backend
+
+    @classmethod
+    def from_snapshot(cls, config: StoreConfig, planes_state,
+                      placements) -> "FabricBackend":
+        """Rebuild a backend from a serialized arena plus the entry map
+        (the snapshot-restore path: the contiguous arena loads
+        wholesale, then allocators and key maps are rebuilt around
+        it)."""
+        backend = cls(config)
+        value, care, valid = planes_state
+        backend.fabric.arena.load(value, care, valid)
+        backend._adopt_placements(placements, write=False)
+        return backend
 
     def _bank_for(self, seq: int) -> Optional[int]:
         # Striped placement overrides the fabric's hash sharding with

@@ -422,6 +422,84 @@ def kernel(targets):
             ("FCA006", line) for line in expect_lines(source)]
 
 
+# -- recovery path: the durable subsystem's shapes, as golden fixtures ---------
+
+RECOVERY_FCA001_FIXTURE = """\
+from fecam.analysis.markers import mutates_planes
+
+
+class TernaryPlanes:
+    def _bump(self):
+        pass
+
+    @mutates_planes
+    def load(self, value, care, valid):
+        self.value[...] = value
+        self.care[...] = care
+        self.valid[...] = valid
+        self._bump()
+
+
+def restore_raw(planes, value, care, valid):
+    planes.value[...] = value  # BAD: wholesale write, no bump
+    planes.care[...] = care  # BAD
+    planes.valid[...] = valid  # BAD
+
+
+def restore_via_load(planes, value, care, valid):
+    planes.load(value, care, valid)
+"""
+
+RECOVERY_FCA002_FIXTURE = """\
+from fecam.analysis.markers import requires_lock
+from fecam.service.locks import RWLock
+
+
+class DurableStore:
+    @requires_lock("read")
+    def snapshot(self):
+        return "snap"
+
+    @requires_lock("write")
+    def insert(self, word):
+        return None
+
+
+class DurableService:
+    def __init__(self, store):
+        self.store = store
+        self._rw = RWLock()
+
+    def bad_unlocked_snapshot(self):
+        return self.store.snapshot()  # BAD: snapshot needs the read lock
+
+    def good_snapshot_rides_the_read_lock(self):
+        with self._rw.read_locked():
+            return self.store.snapshot()
+
+    def write(self, txn):
+        with self._rw.write_locked():
+            return txn(self.store)
+
+    def good_reshard_commit_txn(self, word):
+        return self.write(lambda store: store.insert(word))
+"""
+
+
+class TestRecoveryPathFixtures:
+    def test_raw_planes_restore_flagged(self, tmp_path):
+        result = lint_source(tmp_path, RECOVERY_FCA001_FIXTURE)
+        assert codes_and_lines(result) == [
+            ("FCA001", line)
+            for line in expect_lines(RECOVERY_FCA001_FIXTURE)]
+
+    def test_unlocked_snapshot_flagged(self, tmp_path):
+        result = lint_source(tmp_path, RECOVERY_FCA002_FIXTURE)
+        assert codes_and_lines(result) == [
+            ("FCA002", line)
+            for line in expect_lines(RECOVERY_FCA002_FIXTURE)]
+
+
 # -- the shipped tree is the ultimate good fixture -----------------------------
 
 REPO_ROOT = Path(__file__).resolve().parents[2]

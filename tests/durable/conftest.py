@@ -1,0 +1,13 @@
+"""Fixtures for the durability suite (helpers in durable_utils.py)."""
+
+import shutil
+import tempfile
+
+import pytest
+
+
+@pytest.fixture
+def wal_dir():
+    directory = tempfile.mkdtemp(prefix="fecam-durable-")
+    yield directory
+    shutil.rmtree(directory, ignore_errors=True)

@@ -1,0 +1,88 @@
+"""Shared helpers for the durability suite (imported by the
+test modules; the ``wal_dir`` fixture lives in ``conftest.py``).
+
+Every test here compares *recovered* stores against a *reference*
+replay: a plain volatile :class:`CamStore` that applies the surviving
+WAL record prefix through :func:`fecam.durable.apply_op`.  Recovery
+goes snapshot + tail; the reference goes pure replay — agreeing
+bit-for-bit (entries, placements, energy, latency) proves both the
+journal and the snapshot-restore path.
+
+Durability configs here disable compaction so the full journal stays
+on disk as the reference input, and use ``fsync="off"`` (the simulated
+crash model preserves flushed bytes; real fsync just burns test time).
+"""
+
+from fecam.designs import DesignKind
+from fecam.functional import EnergyModel
+from fecam.durable import (DurabilityConfig, DurableCamStore,
+                           WriteAheadLog, apply_op)
+from fecam.store import CamStore, StoreConfig
+
+WIDTH = 8
+ROWS = 64
+KEYSPACE = [f"k{i}" for i in range(24)]
+PROBES = ["10101111", "01011111", "00000000", "11111111", "11001100"]
+
+
+def fast_model():
+    return EnergyModel(DesignKind.DG_1T5, WIDTH, e_1step_per_bit=0.8e-15,
+                       e_2step_per_bit=1.3e-15, latency_1step=0.7e-9,
+                       latency_2step=2.3e-9, write_energy_per_cell=0.4e-15)
+
+
+def make_config(banks=4, rows=ROWS):
+    # No query cache: bit-identity compares energy/latency, and cache
+    # hits legitimately report zero cost.
+    return StoreConfig(width=WIDTH, rows=rows, banks=banks,
+                       energy_model=fast_model())
+
+
+def make_durable(directory, config=None, *, crash_point=None,
+                 snapshot_every=0, compact=False, fsync="off"):
+    return DurableCamStore(
+        config or make_config(),
+        durability=DurabilityConfig(
+            directory=directory, fsync=fsync,
+            snapshot_every=snapshot_every,
+            compact_on_snapshot=compact),
+        crash_point=crash_point)
+
+
+def random_word(rng):
+    return "".join(rng.choice("01X") for _ in range(WIDTH))
+
+
+def surviving_records(directory):
+    """Scan (and repair) the directory's WAL — the crash's survivors."""
+    wal = WriteAheadLog(directory, fsync="off")
+    records = wal.scan(repair=True)
+    wal.close()
+    return records
+
+
+def reference_replay(directory, config):
+    """A plain volatile store rebuilt by replaying the whole journal."""
+    records = surviving_records(directory)
+    ref = CamStore(config)
+    for _generation, op in records:
+        apply_op(ref, op)
+    return ref, records
+
+
+def entry_tuples(store):
+    return [(m.key, m.word, m.priority, m.payload, m.seq, m.bank, m.row)
+            for m in store.entries()]
+
+
+def assert_stores_identical(expected, actual, probes=PROBES):
+    """Full bit-identity: generation, placements, and search outcomes."""
+    assert actual._generation == expected._generation
+    assert entry_tuples(actual) == entry_tuples(expected)
+    for lhs, rhs in zip(expected.search_batch(probes),
+                        actual.search_batch(probes)):
+        assert lhs.match_keys == rhs.match_keys
+        assert [(m.bank, m.row) for m in lhs.matches] == \
+            [(m.bank, m.row) for m in rhs.matches]
+        assert lhs.energy == rhs.energy
+        assert lhs.latency == rhs.latency

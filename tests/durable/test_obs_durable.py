@@ -1,0 +1,117 @@
+"""Observability wiring for the durability layer: the
+``instrument_durable`` adapter (latency histograms fed through chained
+callback taps, collect-time counters mirrored off the WAL and store
+tallies), auto-detection through ``instrument()``, and the
+``wal_append`` / ``snapshot`` stage spans emitted on the traced write
+path."""
+
+from durable_utils import make_durable
+
+from fecam.durable import recover
+from fecam.obs import MetricsRegistry, Trace, activated, instrument, \
+    instrument_durable
+
+
+def value_of(registry, name):
+    for family in registry.collect():
+        if family.name == name:
+            (sample,) = family.samples
+            return sample.value
+    raise AssertionError(f"{name} not collected")
+
+
+class TestInstrumentDurable:
+    def test_histograms_fed_by_append_fsync_and_snapshot(self, wal_dir):
+        registry = MetricsRegistry()
+        with make_durable(wal_dir, fsync="always") as store:
+            instrument_durable(store, registry)
+            store.insert("1010XXXX", key="a")
+            store.insert("11111111", key="b")
+            store.snapshot()
+        appends = value_of(registry, "fecam_wal_append_seconds")
+        fsyncs = value_of(registry, "fecam_wal_fsync_seconds")
+        snaps = value_of(registry, "fecam_snapshot_duration_seconds")
+        assert appends.count == 2 and appends.sum > 0.0
+        assert fsyncs.count >= 2          # fsync="always": one per append
+        assert snaps.count == 1 and snaps.sum > 0.0
+
+    def test_collect_mirrors_wal_and_snapshot_tallies(self, wal_dir):
+        registry = MetricsRegistry()
+        with make_durable(wal_dir) as store:
+            instrument_durable(store, registry)
+            for i in range(5):
+                store.insert("1010XXXX", key=f"k{i}")
+            store.snapshot()
+            assert value_of(registry, "fecam_wal_records_total") == 5
+            assert value_of(registry, "fecam_wal_bytes_total") == \
+                store.wal.appended_bytes > 0
+            # two: the baseline snapshot at construction + the explicit one
+            assert value_of(registry, "fecam_snapshots_total") == 2
+            assert value_of(registry, "fecam_snapshot_generation") == \
+                store.generation
+            assert value_of(
+                registry, "fecam_recovery_replayed_records_total") == 0
+
+    def test_recovered_store_reports_replayed_records(self, wal_dir):
+        with make_durable(wal_dir) as store:
+            for i in range(4):
+                store.insert("1010XXXX", key=f"k{i}")
+        registry = MetricsRegistry()
+        with recover(wal_dir, fsync="off") as recovered:
+            instrument_durable(recovered, registry)
+            assert recovered.recovered_records == 4
+            assert value_of(
+                registry, "fecam_recovery_replayed_records_total") == 4
+
+    def test_taps_chain_and_unregister_restores(self, wal_dir):
+        seen = []
+        with make_durable(wal_dir) as store:
+            store.wal.on_append = \
+                lambda seconds, nbytes: seen.append(nbytes)
+            prior = store.wal.on_append
+            registry = MetricsRegistry()
+            unregister = instrument_durable(store, registry)
+            store.insert("1010XXXX", key="a")
+            # both the histogram and the pre-existing tap were fed
+            assert len(seen) == 1
+            assert value_of(registry, "fecam_wal_append_seconds").count == 1
+            unregister()
+            assert store.wal.on_append is prior
+            store.insert("11111111", key="b")
+            assert len(seen) == 2   # restored tap still live
+            assert value_of(registry, "fecam_wal_append_seconds").count == 1
+
+    def test_instrument_autodetects_durable_store(self, wal_dir):
+        registry = MetricsRegistry()
+        with make_durable(wal_dir) as store:
+            unregister = instrument(store, registry)
+            store.insert("1010XXXX", key="a")
+            # store-level and durable-level series from one call
+            assert value_of(registry, "fecam_store_writes_total") == 1
+            assert value_of(registry, "fecam_wal_records_total") == 1
+            unregister()
+
+
+class TestDurableTraceStages:
+    def test_traced_write_emits_wal_append_span(self, wal_dir):
+        trace = Trace(1)
+        with make_durable(wal_dir) as store:
+            with activated([(trace, trace.root_id)]):
+                store.insert("1010XXXX", key="a")
+        assert "wal_append" in [span.name for span in trace.spans]
+
+    def test_snapshot_emits_snapshot_span(self, wal_dir):
+        trace = Trace(1)
+        with make_durable(wal_dir) as store:
+            with activated([(trace, trace.root_id)]):
+                store.snapshot()
+        names = [span.name for span in trace.spans]
+        assert "snapshot" in names
+        # the baseline snapshot at construction ran untraced
+        assert names.count("snapshot") == 1
+
+    def test_untraced_write_emits_nothing(self, wal_dir):
+        trace = Trace(1)
+        with make_durable(wal_dir) as store:
+            store.insert("1010XXXX", key="a")
+        assert [span.name for span in trace.spans] == ["request"]

@@ -1,0 +1,206 @@
+"""WAL mechanics: framing, rotation, torn tails, density, compaction."""
+
+import os
+
+import pytest
+
+from fecam.durable import WriteAheadLog
+from fecam.durable.records import WAL_MAGIC, encode_frame
+from fecam.durable.wal import list_segments
+from fecam.errors import DurabilityError
+
+
+def make_wal(directory, **kw):
+    kw.setdefault("fsync", "off")
+    return WriteAheadLog(directory, **kw)
+
+
+class TestAppendScan:
+    def test_roundtrip_preserves_records_and_generations(self, wal_dir):
+        wal = make_wal(wal_dir)
+        ops = [("insert", f"word{i}", f"k{i}", float(i), None, i)
+               for i in range(20)]
+        for i, op in enumerate(ops, start=1):
+            wal.append(i, op)
+        wal.close()
+        assert make_wal(wal_dir).scan() == list(enumerate(ops, start=1))
+
+    def test_scan_sees_unclosed_appends(self, wal_dir):
+        wal = make_wal(wal_dir)
+        wal.append(1, ("delete", "k"))
+        # No close(): append flushes, so the record is scannable.
+        assert make_wal(wal_dir).scan() == [(1, ("delete", "k"))]
+        wal.close()
+
+    def test_payloads_roundtrip_arbitrary_picklables(self, wal_dir):
+        wal = make_wal(wal_dir)
+        op = ("insert_many", ["01X", "X10"], [("auto", 3), "k"],
+              [0.5, 1.5], [None, {"tag": 7}], [3, 4])
+        wal.append(1, op)
+        wal.close()
+        assert make_wal(wal_dir).scan() == [(1, op)]
+
+    def test_counters_and_callbacks(self, wal_dir):
+        wal = make_wal(wal_dir, fsync="always")
+        appended, synced = [], []
+        wal.on_append = lambda s, n: appended.append((s, n))
+        wal.on_fsync = synced.append
+        for i in range(1, 4):
+            wal.append(i, ("delete", f"k{i}"))
+        wal.close()
+        assert wal.appended_records == 3
+        assert wal.fsyncs == 3
+        assert len(appended) == 3
+        assert len(synced) == 3
+        assert wal.appended_bytes == sum(n for _s, n in appended)
+
+    def test_interval_policy_syncs_less_than_always(self, wal_dir):
+        wal = make_wal(wal_dir, fsync="interval", fsync_interval_s=3600)
+        for i in range(1, 11):
+            wal.append(i, ("delete", f"k{i}"))
+        # Interval far in the future: only the first append (interval
+        # elapsed since construction is 0 but the clock check uses the
+        # last sync time) and the close() barrier sync.
+        assert wal.fsyncs <= 2
+        wal.close()
+        assert wal.fsyncs <= 3
+
+    def test_bad_policy_rejected(self, wal_dir):
+        with pytest.raises(DurabilityError):
+            WriteAheadLog(wal_dir, fsync="sometimes")
+
+
+class TestRotation:
+    def test_rotates_at_threshold_and_names_by_first_generation(
+            self, wal_dir):
+        wal = make_wal(wal_dir, segment_bytes=256)
+        for i in range(1, 31):
+            wal.append(i, ("insert", "X" * 40, f"key{i}", float(i),
+                           None, i))
+        wal.close()
+        segments = list_segments(wal_dir)
+        assert len(segments) > 1
+        # Every segment's first record matches its name; the full scan
+        # is still one dense generation sequence.
+        records = make_wal(wal_dir).scan()
+        assert [g for g, _ in records] == list(range(1, 31))
+        firsts = [int(os.path.basename(p)[4:-4]) for p in segments]
+        assert firsts == sorted(firsts)
+        assert firsts[0] == 1
+
+    def test_append_continues_last_segment_after_reopen(self, wal_dir):
+        wal = make_wal(wal_dir)
+        wal.append(1, ("delete", "a"))
+        wal.close()
+        wal2 = make_wal(wal_dir)
+        wal2.append(2, ("delete", "b"))
+        wal2.close()
+        assert len(list_segments(wal_dir)) == 1
+        assert [g for g, _ in make_wal(wal_dir).scan()] == [1, 2]
+
+
+class TestTornTails:
+    def test_torn_tail_is_dropped_and_repaired(self, wal_dir):
+        wal = make_wal(wal_dir)
+        for i in range(1, 4):
+            wal.append(i, ("delete", f"k{i}"))
+        wal.close()
+        path = list_segments(wal_dir)[0]
+        intact = os.path.getsize(path)
+        with open(path, "ab") as fh:
+            fh.write(encode_frame(4, ("delete", "k4"))[:11])
+        reader = make_wal(wal_dir)
+        assert [g for g, _ in reader.scan()] == [1, 2, 3]
+        reader.scan(repair=True)
+        assert os.path.getsize(path) == intact
+
+    def test_append_after_repair_leaves_no_gap(self, wal_dir):
+        wal = make_wal(wal_dir)
+        wal.append(1, ("delete", "a"))
+        wal.close()
+        path = list_segments(wal_dir)[0]
+        with open(path, "ab") as fh:
+            fh.write(b"\x00\x01garbage")
+        wal2 = make_wal(wal_dir)
+        wal2.scan(repair=True)
+        wal2.append(2, ("delete", "b"))
+        wal2.close()
+        assert make_wal(wal_dir).scan() == [
+            (1, ("delete", "a")), (2, ("delete", "b"))]
+
+    def test_recordless_torn_segment_is_deleted(self, wal_dir):
+        path = os.path.join(wal_dir, f"wal-{1:016d}.log")
+        with open(path, "wb") as fh:
+            fh.write(WAL_MAGIC[:4])  # crash mid-preamble
+        wal = make_wal(wal_dir)
+        assert wal.scan(repair=True) == []
+        assert list_segments(wal_dir) == []
+
+    def test_mid_log_tear_is_corruption_not_a_tail(self, wal_dir):
+        wal = make_wal(wal_dir, segment_bytes=64)
+        for i in range(1, 9):
+            wal.append(i, ("insert", "X" * 30, f"k{i}", float(i),
+                           None, i))
+        wal.close()
+        first, *_rest = list_segments(wal_dir)
+        with open(first, "ab") as fh:
+            fh.write(b"torn")
+        with pytest.raises(DurabilityError, match="mid-log"):
+            make_wal(wal_dir).scan()
+
+    def test_corrupt_crc_truncates_from_the_flip(self, wal_dir):
+        wal = make_wal(wal_dir)
+        for i in range(1, 4):
+            wal.append(i, ("delete", f"k{i}"))
+        wal.close()
+        path = list_segments(wal_dir)[0]
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.seek(size - 1)
+            last = fh.read(1)[0]
+            fh.seek(size - 1)
+            fh.write(bytes([last ^ 0xFF]))
+        assert [g for g, _ in make_wal(wal_dir).scan()] == [1, 2]
+
+
+class TestInvariants:
+    def test_generation_gap_raises(self, wal_dir):
+        wal = make_wal(wal_dir)
+        wal.append(1, ("delete", "a"))
+        wal.append(5, ("delete", "b"))  # the log must be dense
+        wal.close()
+        with pytest.raises(DurabilityError, match="dense"):
+            make_wal(wal_dir).scan()
+
+    def test_foreign_magic_raises(self, wal_dir):
+        path = os.path.join(wal_dir, f"wal-{1:016d}.log")
+        with open(path, "wb") as fh:
+            fh.write(b"NOTAWAL!" + b"\x00" * 32)
+        with pytest.raises(DurabilityError, match="magic"):
+            make_wal(wal_dir).scan()
+
+
+class TestCompaction:
+    def test_compact_deletes_only_covered_segments(self, wal_dir):
+        wal = make_wal(wal_dir, segment_bytes=128)
+        for i in range(1, 21):
+            wal.append(i, ("insert", "X" * 30, f"k{i}", float(i),
+                           None, i))
+        segments = list_segments(wal_dir)
+        assert len(segments) >= 3
+        boundary = int(os.path.basename(segments[2])[4:-4])
+        deleted = wal.compact(boundary - 1)
+        assert deleted == 2
+        # Everything from the boundary on survives, still dense.
+        records = wal.scan()
+        assert records[0][0] == boundary
+        assert [g for g, _ in records] == list(range(boundary, 21))
+        wal.close()
+
+    def test_compact_never_deletes_the_open_segment(self, wal_dir):
+        wal = make_wal(wal_dir)
+        for i in range(1, 6):
+            wal.append(i, ("delete", f"k{i}"))
+        assert wal.compact(1000) == 0
+        assert len(list_segments(wal_dir)) == 1
+        wal.close()
