@@ -1,0 +1,226 @@
+"""Match-kernel throughput: compiled backend vs the NumPy fused kernel.
+
+The fused two-step kernel (:func:`fecam.fabric.batch.
+fused_count_matches`) is the floor under every serving number; PR 9
+gives it a compiled backend (:mod:`fecam.kernels`).  This benchmark
+measures the kernel *alone* — no service, no locks, no result
+assembly — over a bank-count sweep, pitting the compiled kernel
+against the NumPy backend's own best strategy on identical inputs.
+
+Methodology notes:
+
+* Timings interleave the two backends inside one best-of-``repeats``
+  loop (numpy pass, compiled pass, repeat) so scheduler noise on a
+  loaded runner hits both equally — the ratio is far more stable than
+  the absolute numbers.
+* Every configuration is spot-checked bit-identical (counts and match
+  lists) between the backends before any timing is trusted.
+* If the compiled backend cannot be built (no C compiler), the
+  benchmark still emits the NumPy numbers with ``compiled_qps: null``
+  and skips the ratio floor — mirroring the registry's graceful
+  fallback.
+
+The acceptance floor: at 16 banks (full mode) the compiled kernel must
+clear >= 3x the NumPy fused kernel.  ``--tiny`` is the CI smoke: small
+arena, >= 1x sanity floor.
+
+Emits JSON twice: the full report at
+``benchmarks/results/kernel_throughput.json`` and — for full runs —
+the machine-trackable ``BENCH_kernel.json`` at the repo root.
+
+Run directly (``python benchmarks/bench_kernel.py [--tiny]``) or via
+pytest (``pytest benchmarks/bench_kernel.py``).
+"""
+
+import argparse
+import random
+import time
+
+import numpy as np
+
+import _emit
+
+from fecam import kernels
+from fecam.fabric.batch import fused_count_matches, pack_queries
+from fecam.functional import pack_words
+from fecam.planes import TernaryPlanes
+
+#: Stored-word symbol distribution: mostly specified bits with a tail
+#: of wildcards — the rule-table shape the paper's step-1 stats assume.
+P_SYMBOLS = (0.45, 0.45, 0.10)
+
+FULL = dict(mode="full", bank_counts=(1, 4, 16), rows_per_bank=512,
+            width=64, n_queries=256, repeats=40, floor_banks=16,
+            floor=3.0)
+TINY = dict(mode="tiny", bank_counts=(1, 4), rows_per_bank=64,
+            width=32, n_queries=64, repeats=20, floor_banks=4,
+            floor=1.0)
+
+
+def _build_planes(n_banks, rows_per_bank, width, seed=7):
+    rng = np.random.default_rng(seed)
+    rows = n_banks * rows_per_bank
+    planes = TernaryPlanes(rows=rows, width=width)
+    words = ["".join(rng.choice(list("01X"), size=width, p=P_SYMBOLS))
+             for _ in range(rows)]
+    value, care = pack_words(words, width)
+    planes.set_rows(np.arange(rows), value, care)
+    return planes
+
+
+def _queries(n_queries, width, seed=11):
+    rng = random.Random(seed)
+    return pack_queries(["".join(rng.choice("01") for _ in range(width))
+                         for _ in range(n_queries)], width)
+
+
+def _assert_identical(a, b):
+    np.testing.assert_array_equal(a.step1_eliminated, b.step1_eliminated)
+    np.testing.assert_array_equal(a.step2_misses, b.step2_misses)
+    np.testing.assert_array_equal(a.full_matches, b.full_matches)
+    assert list(a.match_q) == list(b.match_q)
+    assert list(a.match_rows) == list(b.match_rows)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _measure_config(sizes, n_banks, compiled_available):
+    planes = _build_planes(n_banks, sizes["rows_per_bank"],
+                           sizes["width"])
+    q_values = _queries(sizes["n_queries"], sizes["width"])
+    n_queries = sizes["n_queries"]
+
+    def run_numpy():
+        return fused_count_matches(planes, q_values, n_banks=n_banks,
+                                   reuse_buffers=True)
+
+    def run_compiled():
+        return fused_count_matches(planes, q_values, n_banks=n_banks,
+                                   kernel="compiled", reuse_buffers=True)
+
+    # Bit-identity gate (also the warmup: builds derived planes, the
+    # step-1 index, and the compiled library before any timing).
+    kernels.set_backend("numpy")
+    try:
+        reference = run_numpy()
+        numpy_strategy = reference.kernel
+        if compiled_available:
+            _assert_identical(reference, run_compiled())
+    finally:
+        kernels.set_backend(None)
+
+    best_numpy = best_compiled = float("inf")
+    for _ in range(sizes["repeats"]):
+        kernels.set_backend("numpy")
+        try:
+            best_numpy = min(best_numpy, _timed(run_numpy))
+        finally:
+            kernels.set_backend(None)
+        if compiled_available:
+            best_compiled = min(best_compiled, _timed(run_compiled))
+
+    numpy_qps = n_queries / best_numpy
+    compiled_qps = (n_queries / best_compiled
+                    if compiled_available else None)
+    return {
+        "banks": n_banks, "rows": n_banks * sizes["rows_per_bank"],
+        "width_bits": sizes["width"], "queries": n_queries,
+        "numpy_strategy": numpy_strategy,
+        "numpy_qps": numpy_qps,
+        "compiled_qps": compiled_qps,
+        "speedup": (compiled_qps / numpy_qps
+                    if compiled_qps is not None else None),
+        "bit_identical": bool(compiled_available),
+    }
+
+
+def _measure(sizes):
+    compiled_available = kernels.compiled_available()
+    return [_measure_config(sizes, n_banks, compiled_available)
+            for n_banks in sizes["bank_counts"]], compiled_available
+
+
+def _bench_rows(rows, sizes):
+    units = {"numpy_qps": "query/s", "compiled_qps": "query/s",
+             "speedup": "x"}
+    out = []
+    for row in rows:
+        config = {"banks": row["banks"], "rows": row["rows"],
+                  "width_bits": row["width_bits"],
+                  "queries": row["queries"],
+                  "numpy_strategy": row["numpy_strategy"],
+                  "p_symbols": list(P_SYMBOLS),
+                  "repeats": sizes["repeats"], "mode": sizes["mode"]}
+        out.extend(_emit.rows_from(row, units, config))
+    return out
+
+
+def run(sizes, json_path=None):
+    rows, compiled_available = _measure(sizes)
+    default_paths = json_path is None
+    if json_path is None:
+        json_path = _emit.results_path("kernel_throughput")
+    payload = {"benchmark": "kernel_throughput",
+               "config": {key: sizes[key] for key in
+                          ("mode", "bank_counts", "rows_per_bank",
+                           "width", "n_queries", "repeats")},
+               "compiled_available": compiled_available,
+               "results": rows}
+    root_path = (_emit.repo_bench_path("kernel")
+                 if sizes["mode"] == "full" and default_paths else None)
+    paths = _emit.emit(payload, _bench_rows(rows, sizes),
+                       results_file=json_path, root_file=root_path)
+    return rows, compiled_available, paths
+
+
+def print_report(rows):
+    from fecam.bench import print_experiment
+    print_experiment(
+        "Match-kernel throughput (NumPy fused vs compiled backend)",
+        ["banks", "rows", "queries", "numpy strategy", "numpy qps",
+         "compiled qps", "speedup"],
+        [[row["banks"], row["rows"], row["queries"],
+          row["numpy_strategy"], row["numpy_qps"],
+          row["compiled_qps"], row["speedup"]] for row in rows])
+
+
+def check_floors(rows, sizes, compiled_available):
+    for row in rows:
+        assert row["numpy_qps"] > 0
+    if not compiled_available:
+        print("compiled kernel unavailable: ratio floor skipped "
+              "(graceful-fallback path exercised instead)")
+        return
+    gated = [row for row in rows if row["banks"] == sizes["floor_banks"]]
+    assert gated, f"no row at the gated bank count {sizes['floor_banks']}"
+    for row in gated:
+        assert row["bit_identical"]
+        assert row["speedup"] >= sizes["floor"], (
+            f"compiled kernel is only {row['speedup']:.2f}x the NumPy "
+            f"fused kernel at {row['banks']} banks (acceptance floor "
+            f"{sizes['floor']}x)")
+
+
+def test_bench_kernel():
+    rows, compiled_available, paths = run(FULL)
+    print_report(rows)
+    print("JSON written to " + ", ".join(paths))
+    check_floors(rows, FULL, compiled_available)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke mode: small arena, >= 1x sanity "
+                             "floor")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args()
+    chosen = TINY if args.tiny else FULL
+    result_rows, available, out_paths = run(chosen, args.out)
+    print_report(result_rows)
+    print("JSON written to " + ", ".join(out_paths))
+    check_floors(result_rows, chosen, available)

@@ -52,10 +52,10 @@ FILL = 0.5
 
 FULL = dict(mode="full", banks=8, rows=4096, width=64, threads=16,
             requests_per_thread=250, max_batch=256, max_wait=2e-3,
-            repeats=3, floor=5.0)
+            repeats=3, floor=5.0, direct_ratio_floor=1 / 3)
 TINY = dict(mode="tiny", banks=4, rows=256, width=32, threads=8,
             requests_per_thread=40, max_batch=64, max_wait=2e-3,
-            repeats=3, floor=1.0)
+            repeats=3, floor=1.0, direct_ratio_floor=None)
 
 
 def _fast_model(width):
@@ -143,9 +143,13 @@ def _measure(sizes):
         sizes["repeats"])
 
     # -- service: same threads, micro-batched through the dispatcher --
+    # use_cache=False everywhere: the naive and direct legs bypass the
+    # query cache, so the service must too for an apples-to-apples
+    # ratio (the workload is unique random queries — all cache misses).
     service = SearchService(service_store, max_batch=sizes["max_batch"],
                             max_wait=sizes["max_wait"],
-                            max_queue=max(4 * n_requests, 1024))
+                            max_queue=max(4 * n_requests, 1024),
+                            use_cache=False)
     service_results = {}
 
     def service_worker(idx, queries):
@@ -161,7 +165,8 @@ def _measure(sizes):
     # -- closed loop: one in-flight request per thread (informational) --
     closed_store = _build_store(sizes)
     closed_service = SearchService(closed_store, max_batch=sizes["max_batch"],
-                                   max_queue=max(4 * n_requests, 1024))
+                                   max_queue=max(4 * n_requests, 1024),
+                                   use_cache=False)
 
     def closed_loop_worker(idx, queries):
         for query in queries:
@@ -197,6 +202,7 @@ def _measure(sizes):
         "closed_loop_qps": n_requests / t_closed,
         "direct_batch_qps": n_requests / t_direct,
         "coalescing_speedup": t_naive / t_service,
+        "service_direct_ratio": t_direct / t_service,
         "closed_loop_speedup": t_naive / t_closed,
         "closed_loop_mean_batch": closed_stats.mean_batch_size,
         "mean_batch_size": stats.mean_batch_size,
@@ -221,6 +227,7 @@ def _bench_rows(row, sizes):
         "naive_qps": "query/s", "service_qps": "query/s",
         "closed_loop_qps": "query/s", "direct_batch_qps": "query/s",
         "coalescing_speedup": "x", "closed_loop_speedup": "x",
+        "service_direct_ratio": "ratio",
         "closed_loop_mean_batch": "query/batch",
         "mean_batch_size": "query/batch", "coalesced_ratio": "ratio",
         "p50_latency_s": "s", "p99_latency_s": "s",
@@ -258,11 +265,11 @@ def print_report(row):
     print_experiment(
         "Service throughput (naive locking vs micro-batched service)",
         ["threads", "naive qps", "service qps", "closed-loop",
-         "direct qps", "speedup", "mean batch", "p99 ms"],
+         "direct qps", "speedup", "svc/direct", "mean batch", "p99 ms"],
         [[row["threads"], row["naive_qps"], row["service_qps"],
           row["closed_loop_qps"], row["direct_batch_qps"],
-          row["coalescing_speedup"], row["mean_batch_size"],
-          row["p99_latency_s"] * 1e3]])
+          row["coalescing_speedup"], row["service_direct_ratio"],
+          row["mean_batch_size"], row["p99_latency_s"] * 1e3]])
 
 
 def check_floors(row, sizes):
@@ -274,6 +281,11 @@ def check_floors(row, sizes):
     # Coalescing must actually happen, not just win on noise.
     assert row["mean_batch_size"] > 1.0
     assert row["coalesced_ratio"] > 0.5
+    if sizes["direct_ratio_floor"] is not None:
+        assert row["service_direct_ratio"] >= sizes["direct_ratio_floor"], (
+            f"service serves only {row['service_direct_ratio']:.2f} of "
+            f"the direct-batch upper bound at {row['threads']} threads "
+            f"(acceptance floor {sizes['direct_ratio_floor']:.2f})")
 
 
 def test_bench_service_throughput():

@@ -31,8 +31,8 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, TypeVar
 
 __all__ = ["requires_lock", "lock_free", "hot_path", "mutates_planes",
-           "lock_mode", "is_lock_free", "is_hot_path", "is_planes_mutator",
-           "LOCK_MODES"]
+           "lock_mode", "is_lock_free", "is_hot_path", "hot_path_exemption",
+           "is_planes_mutator", "LOCK_MODES"]
 
 F = TypeVar("F", bound=Callable[..., Any])
 
@@ -42,6 +42,7 @@ LOCK_MODES = ("read", "write")
 REQUIRES_LOCK_ATTR = "__fecam_requires_lock__"
 LOCK_FREE_ATTR = "__fecam_lock_free__"
 HOT_PATH_ATTR = "__fecam_hot_path__"
+HOT_PATH_EXEMPT_ATTR = "__fecam_hot_path_exempt__"
 MUTATES_PLANES_ATTR = "__fecam_mutates_planes__"
 
 
@@ -78,10 +79,35 @@ def lock_free(fn: F) -> F:
     return fn
 
 
-def hot_path(fn: F) -> F:
-    """Mark a function as part of the fused-kernel hot path (FCA005)."""
-    setattr(fn, HOT_PATH_ATTR, True)
-    return fn
+def hot_path(fn: Optional[F] = None, *,
+             exempt: Optional[str] = None) -> Any:
+    """Mark a function as part of the fused-kernel hot path (FCA005).
+
+    Two forms::
+
+        @hot_path                      # checked by FCA005
+        @hot_path(exempt="reason")     # marked, but hygiene-exempt
+
+    The called form declares that FCA005's source-level hygiene checks
+    do not apply — reserved for thin shims whose loops run in compiled
+    code (the ctypes kernel bindings), where Python-level heuristics
+    about appends and copies are meaningless.  The reason string is
+    mandatory and surfaces in introspection so exemptions stay
+    auditable.
+    """
+
+    def mark(f: F) -> F:
+        setattr(f, HOT_PATH_ATTR, True)
+        if exempt is not None:
+            setattr(f, HOT_PATH_EXEMPT_ATTR, exempt)
+        return f
+
+    if fn is not None:  # bare @hot_path
+        return mark(fn)
+    if not exempt:
+        raise ValueError(
+            "hot_path(...) called form requires a non-empty exempt= reason")
+    return mark
 
 
 def mutates_planes(fn: F) -> F:
@@ -107,6 +133,11 @@ def is_lock_free(obj: Any) -> bool:
 
 def is_hot_path(obj: Any) -> bool:
     return bool(getattr(obj, HOT_PATH_ATTR, False))
+
+
+def hot_path_exemption(obj: Any) -> Optional[str]:
+    """The FCA005 exemption reason of a hot-path function, or None."""
+    return getattr(obj, HOT_PATH_EXEMPT_ATTR, None)
 
 
 def is_planes_mutator(obj: Any) -> bool:

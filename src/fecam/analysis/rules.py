@@ -684,10 +684,26 @@ class HotPathHygiene(Rule):
     def check(self, module: Module,
               project: Project) -> Iterator[Violation]:
         for _cls, fn in iter_functions(module.tree):
-            if not any(decorator_base(d) == "hot_path"
-                       for d in fn.decorator_list):
+            marks = [d for d in fn.decorator_list
+                     if decorator_base(d) == "hot_path"]
+            if not marks:
+                continue
+            if any(self._is_exempt(d) for d in marks):
                 continue
             yield from self._check_hot(module, fn)
+
+    @staticmethod
+    def _is_exempt(dec: ast.expr) -> bool:
+        """True for ``@hot_path(exempt="reason")`` with a non-empty
+        literal reason — the declared escape hatch for shims whose
+        loops run in compiled code."""
+        if not isinstance(dec, ast.Call):
+            return False
+        for kw in dec.keywords:
+            if (kw.arg == "exempt" and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str) and kw.value.value):
+                return True
+        return False
 
     def _check_hot(self, module: Module,
                    fn: AnyFunc) -> Iterator[Violation]:

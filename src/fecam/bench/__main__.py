@@ -1,0 +1,58 @@
+"""``python -m fecam.bench`` — serving-stack analysis entry points.
+
+Subcommands:
+
+``profile-serve``
+    Drive a concurrent query workload through a fabric-backed
+    :class:`~fecam.service.SearchService` and print a ranked
+    trace-stage breakdown (where the serving pipeline says the time
+    went) next to a cProfile table (where Python says it went).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .profile import run_profile_serve
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m fecam.bench",
+        description="Serving-stack analysis tools.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "profile-serve",
+        help="profile the concurrent serve path (cProfile + trace "
+             "stages)")
+    serve.add_argument("--banks", type=int, default=8)
+    serve.add_argument("--rows-per-bank", type=int, default=1024)
+    serve.add_argument("--width", type=int, default=64)
+    serve.add_argument("--fill", type=float, default=0.5,
+                       help="fraction of rows populated (default 0.5)")
+    serve.add_argument("--threads", type=int, default=8)
+    serve.add_argument("--requests-per-thread", type=int, default=200)
+    serve.add_argument("--max-batch", type=int, default=256)
+    serve.add_argument("--max-wait", type=float, default=0.0)
+    serve.add_argument("--sample-every", type=int, default=1,
+                       help="trace 1-in-N requests (default: every "
+                            "request)")
+    serve.add_argument("--top", type=int, default=20,
+                       help="cProfile rows to print")
+    serve.add_argument("--sort", default="cumulative",
+                       choices=("cumulative", "tottime", "ncalls"),
+                       help="cProfile sort key")
+    serve.add_argument("--seed", type=int, default=1234)
+    serve.set_defaults(run=run_profile_serve)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

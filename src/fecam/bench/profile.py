@@ -1,0 +1,161 @@
+"""Serve-path profiling: cProfile + trace-stage breakdown in one run.
+
+``python -m fecam.bench profile-serve`` stands up a fabric-backed store
+behind a :class:`~fecam.service.SearchService`, drives a concurrent
+query workload through it, and prints two ranked views of where the
+time went:
+
+1. the sampled per-request *stage* spans (queue, coalesce, lock_wait,
+   kernel, freeze, plus the nested store/arena-kernel stages) from the
+   PR 6 tracer — what the serving pipeline itself attributes;
+2. a cProfile table over the same run — what Python function-level
+   accounting attributes.
+
+The two views cross-check each other: a stage that is hot here but
+thin in cProfile points at time spent under released-GIL compiled code
+or lock waits, and vice versa.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import random
+import threading
+import time
+
+from typing import Any, Dict, List, Optional
+
+from .. import kernels
+from ..obs import Observability, Tracer
+from ..service import SearchService
+from ..store import CamStore, StoreConfig
+from .report import format_table
+
+__all__ = ["profile_serve", "run_profile_serve"]
+
+
+class _StageCollector:
+    """In-memory trace sink aggregating per-stage durations."""
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, List[float]] = {}
+        self.requests = 0
+        self.total_s = 0.0
+
+    def write(self, trace_dict: Dict[str, Any]) -> None:
+        self.requests += 1
+        self.total_s += trace_dict["duration_s"]
+        for span in trace_dict["spans"]:
+            if span["parent"] is None:
+                continue  # the root "request" span is the denominator
+            self.stats.setdefault(span["name"], []).append(
+                span["duration_s"])
+
+
+def _build_store(banks: int, rows_per_bank: int, width: int,
+                 fill: float, seed: int) -> CamStore:
+    rng = random.Random(seed)
+    store = CamStore(StoreConfig(width=width, banks=banks,
+                                 rows=banks * rows_per_bank,
+                                 fidelity="analytical"))
+    n_words = int(banks * rows_per_bank * fill)
+    words = ["".join(rng.choice("01X") for _ in range(width))
+             for _ in range(n_words)]
+    store.insert_many(words, keys=list(range(n_words)))
+    return store
+
+
+def profile_serve(*, banks: int = 8, rows_per_bank: int = 1024,
+                  width: int = 64, fill: float = 0.5, threads: int = 8,
+                  requests_per_thread: int = 200, max_batch: int = 256,
+                  max_wait: float = 0.0, sample_every: int = 1,
+                  seed: int = 1234) -> Dict[str, Any]:
+    """Run the workload; returns stage stats + a pstats.Stats object."""
+    store = _build_store(banks, rows_per_bank, width, fill, seed)
+    collector = _StageCollector()
+    obs = Observability(tracer=Tracer(sample_every=sample_every,
+                                      sink=collector))  # type: ignore[arg-type]
+    rng = random.Random(seed + 1)
+    per_thread = [
+        ["".join(rng.choice("01") for _ in range(width))
+         for _ in range(requests_per_thread)]
+        for _ in range(threads)]
+
+    service = SearchService(store, max_batch=max_batch,
+                            max_wait=max_wait,
+                            max_queue=threads * requests_per_thread,
+                            obs=obs)
+
+    def worker(queries: List[str]) -> None:
+        for future in [service.submit(q) for q in queries]:
+            future.result()
+
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    try:
+        pool = [threading.Thread(target=worker, args=(qs,))
+                for qs in per_thread[1:]]
+        for thread in pool:
+            thread.start()
+        worker(per_thread[0])
+        for thread in pool:
+            thread.join()
+    finally:
+        profiler.disable()
+        service.close()
+    elapsed = time.perf_counter() - started
+    n_requests = threads * requests_per_thread
+    return {
+        "collector": collector,
+        "profiler": profiler,
+        "elapsed_s": elapsed,
+        "requests": n_requests,
+        "qps": n_requests / elapsed if elapsed > 0 else 0.0,
+        "kernel_backend": kernels.backend_name(),
+        "service_stats": service.stats,
+    }
+
+
+def _stage_table(collector: _StageCollector) -> str:
+    rows = []
+    for name, durations in sorted(collector.stats.items(),
+                                  key=lambda kv: -sum(kv[1])):
+        total = sum(durations)
+        share = (100.0 * total / collector.total_s
+                 if collector.total_s > 0 else 0.0)
+        rows.append([name, len(durations), f"{total * 1e3:.2f}",
+                     f"{total / len(durations) * 1e6:.1f}",
+                     f"{share:.1f}%"])
+    return format_table(
+        ["stage", "spans", "total ms", "mean us", "share of e2e"], rows)
+
+
+def run_profile_serve(args) -> int:
+    """CLI driver for ``python -m fecam.bench profile-serve``."""
+    outcome = profile_serve(
+        banks=args.banks, rows_per_bank=args.rows_per_bank,
+        width=args.width, fill=args.fill, threads=args.threads,
+        requests_per_thread=args.requests_per_thread,
+        max_batch=args.max_batch, max_wait=args.max_wait,
+        sample_every=args.sample_every, seed=args.seed)
+    collector = outcome["collector"]
+    print(f"profile-serve: {outcome['requests']} requests, "
+          f"{args.threads} threads, {args.banks}x{args.rows_per_bank}"
+          f"x{args.width}, kernel backend = {outcome['kernel_backend']}")
+    print(f"wall {outcome['elapsed_s']:.3f} s  ->  "
+          f"{outcome['qps'] / 1e3:.1f} kq/s  "
+          f"(batches: {outcome['service_stats'].batches})")
+    print()
+    print(f"Trace stages ({collector.requests} sampled requests; "
+          f"sum of per-request e2e = {collector.total_s * 1e3:.1f} ms):")
+    print(_stage_table(collector))
+    print()
+    print(f"cProfile (top {args.top} by cumulative time):")
+    stream = io.StringIO()
+    stats = pstats.Stats(outcome["profiler"], stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(stream.getvalue())
+    return 0

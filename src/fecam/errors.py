@@ -92,6 +92,18 @@ class SimulatedCrash(FecamError):
     """
 
 
+class KernelUnavailableError(FecamError):
+    """Raised when the compiled match kernel cannot be provided.
+
+    Causes: no C compiler on the host, a compile failure, an unloadable
+    or ABI-mismatched cached library, or an explicit request for the
+    compiled backend (``FECAM_KERNEL=compiled`` / ``kernel="compiled"``)
+    on a host where it cannot be built.  When the backend choice is
+    ``auto`` the registry catches this and falls back to NumPy; only a
+    *forced* compiled selection surfaces it to callers.
+    """
+
+
 class ObservabilityError(FecamError):
     """Raised for misuse of the :mod:`fecam.obs` telemetry layer.
 

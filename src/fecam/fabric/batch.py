@@ -42,11 +42,14 @@ of per-bank scalar searches (enforced by the equivalence suites).
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import kernels as _kernels
 from ..analysis.markers import hot_path
 from ..errors import TernaryValueError
 from ..cam.states import normalize_query
@@ -152,7 +155,8 @@ def fused_count_matches(planes: TernaryPlanes, q_values: np.ndarray,
                         rows_per_bank: Optional[int] = None,
                         block: int = DEFAULT_BLOCK,
                         kernel: str = "auto",
-                        reuse_cache: bool = True) -> FusedBatchCounts:
+                        reuse_cache: bool = True,
+                        reuse_buffers: bool = False) -> FusedBatchCounts:
     """Two-step vectorized match kernel over a whole bitplane arena.
 
     Produces the exact integer counts per (bank, query) that a loop of
@@ -160,12 +164,21 @@ def fused_count_matches(planes: TernaryPlanes, q_values: np.ndarray,
     happens here — callers feed these counts through the same formulas
     as the scalar path.
 
-    ``kernel`` selects the step-1 strategy: ``"auto"`` (candidate index
-    when available/worthwhile, dense otherwise), ``"dense"``, or
-    ``"table"`` (force an index build; still falls back densely where
-    the index cannot exist).  ``reuse_cache=False`` recomputes every
-    derived plane from scratch — the cache-free reference used by the
-    coherence tests and the benchmark's pre-planes baseline.
+    ``kernel`` selects the evaluation strategy: ``"auto"`` (the active
+    :mod:`fecam.kernels` backend; under the NumPy backend, candidate
+    index when available/worthwhile, dense otherwise), ``"dense"`` or
+    ``"table"`` (force the named NumPy step-1 strategy), or
+    ``"compiled"`` (force the compiled backend — raises
+    :class:`~fecam.errors.KernelUnavailableError` instead of falling
+    back when it cannot be built).  ``reuse_cache=False`` recomputes
+    every derived plane from scratch — the cache-free reference used by
+    the coherence tests and the benchmark's pre-planes baseline.
+
+    ``reuse_buffers=True`` serves the count matrices from a
+    thread-local scratch arena instead of fresh allocations; the caller
+    must finish consuming the returned counts before its thread's next
+    ``reuse_buffers`` call (the dispatcher/fabric serve path does —
+    results are reduced to per-query stats before the next batch).
     """
     q_values = np.asarray(q_values, dtype=np.uint64)
     n_chunks = planes.n_chunks
@@ -179,9 +192,10 @@ def fused_count_matches(planes: TernaryPlanes, q_values: np.ndarray,
             raise TernaryValueError("mask chunk vector has wrong shape")
     if block < 1:
         raise TernaryValueError("block size must be positive")
-    if kernel not in ("auto", "dense", "table"):
+    if kernel not in ("auto", "dense", "table", "compiled"):
         raise TernaryValueError(
-            f"kernel must be 'auto', 'dense', or 'table', got {kernel!r}")
+            f"kernel must be 'auto', 'dense', 'table', or 'compiled', "
+            f"got {kernel!r}")
     if rows_per_bank is None:
         rows_per_bank = planes.rows // max(n_banks, 1)
     if n_banks < 1 or n_banks * rows_per_bank != planes.rows:
@@ -190,8 +204,19 @@ def fused_count_matches(planes: TernaryPlanes, q_values: np.ndarray,
             f"of {planes.rows} rows")
     n_queries = q_values.shape[0]
 
+    # Backend dispatch: a forced "compiled" is strict, "auto" defers to
+    # the registry (which may resolve to None = NumPy).
+    compiled = None
+    if kernel == "compiled":
+        compiled = _kernels.compiled_kernel()
+    elif kernel == "auto":
+        compiled = _kernels.active_kernel()
+
     # Derived planes: memoized on the arena's write generation for the
     # unmasked path, ad hoc for masked searches and cache-free runs.
+    # Both backends use the step-1 candidate index when it exists: the
+    # compiled kernel has a sparse variant mirroring the NumPy "table"
+    # strategy.
     index: Optional[Step1Index] = None
     if mask_bits is not None:
         derived = masked_derived(planes, mask_bits)
@@ -199,7 +224,8 @@ def fused_count_matches(planes: TernaryPlanes, q_values: np.ndarray,
         derived = planes.derived()
         if kernel != "dense":
             index = planes.step1_index(
-                build=(kernel == "table" or n_queries >= TABLE_MIN_QUERIES))
+                build=(kernel in ("table", "compiled")
+                       or n_queries >= TABLE_MIN_QUERIES))
     else:
         derived = planes.build_derived()
         if kernel == "table":
@@ -208,21 +234,44 @@ def fused_count_matches(planes: TernaryPlanes, q_values: np.ndarray,
         index = None
 
     n_rows = derived.rows_searched
-    step1 = np.zeros((n_banks, n_queries), dtype=np.int64)
-    step2 = np.zeros((n_banks, n_queries), dtype=np.int64)
-    full = np.zeros((n_banks, n_queries), dtype=np.int64)
-    match_q: List[int] = []
-    match_rows: List[int] = []
     if n_banks == 1:
         seg_counts = np.array([n_rows], dtype=np.int64)
         bank_of = None
     else:
-        bank_of = derived.valid_rows // rows_per_bank
-        seg_counts = np.bincount(bank_of, minlength=n_banks)
+        # The bank segmentation depends only on (derived generation,
+        # bank tiling): memoize it on the derived object so a
+        # quiescent serve loop recomputes nothing per batch.
+        seg_cache = derived.__dict__.get("_seg_cache")
+        if seg_cache is None or seg_cache[0] != (n_banks, rows_per_bank):
+            bank_of = derived.valid_rows // rows_per_bank
+            seg_counts = np.bincount(bank_of, minlength=n_banks)
+            derived.__dict__["_seg_cache"] = \
+                ((n_banks, rows_per_bank), bank_of, seg_counts)
+        else:
+            _, bank_of, seg_counts = seg_cache
     if n_rows == 0 or n_queries == 0:
-        return FusedBatchCounts(seg_counts, step1, step2, full,
-                                match_q, match_rows, kernel="dense")
+        return FusedBatchCounts(seg_counts,
+                                np.zeros((n_banks, n_queries), np.int64),
+                                np.zeros((n_banks, n_queries), np.int64),
+                                np.zeros((n_banks, n_queries), np.int64),
+                                [], [], kernel="dense")
 
+    if compiled is not None:
+        # The compiled backend compresses queries in C and writes every
+        # count cell (no zeroing needed).
+        step1, step2, full = _count_buffers(n_banks, n_queries,
+                                            zero=False, reuse=reuse_buffers)
+        qe, qo = compiled.compress_queries(q_values)
+        match_q, match_rows = compiled.fused(
+            derived, index, bank_of, seg_counts, qe, qo,
+            step1, step2, full)
+        return FusedBatchCounts(seg_counts, step1, step2, full,
+                                match_q, match_rows, kernel="compiled")
+
+    step1, step2, full = _count_buffers(n_banks, n_queries,
+                                        zero=True, reuse=reuse_buffers)
+    match_q: List[int] = []
+    match_rows: List[int] = []
     # Queries compressed once, in both orientations the paths need.
     qe = compress_even(q_values)                        # (Q, C) row-major
     qo = compress_even(q_values >> np.uint64(1))
@@ -253,6 +302,51 @@ def fused_count_matches(planes: TernaryPlanes, q_values: np.ndarray,
     label = used.pop() if len(used) == 1 else "mixed"
     return FusedBatchCounts(seg_counts, step1, step2, full,
                             match_q, match_rows, kernel=label)
+
+
+class _CountScratch(threading.local):
+    """Thread-local arena backing the (B, Q) count matrices.
+
+    One flat int64 buffer, grown geometrically and sliced into the
+    three contiguous (B, Q) views per call — so a steady-state serve
+    loop allocates nothing per batch.  Thread-local because the fabric
+    read lock admits concurrent searchers; per-thread buffers make
+    reuse race-free without any further locking.
+    """
+
+    def __init__(self) -> None:
+        self.buf = np.empty(0, dtype=np.int64)
+
+    def counts(self, n_banks: int, n_queries: int
+               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        cells = n_banks * n_queries
+        if self.buf.size < 3 * cells:
+            self.buf = np.empty(max(3 * cells, 2 * self.buf.size),
+                                dtype=np.int64)
+        shape = (n_banks, n_queries)
+        return (self.buf[:cells].reshape(shape),
+                self.buf[cells:2 * cells].reshape(shape),
+                self.buf[2 * cells:3 * cells].reshape(shape))
+
+
+_count_scratch = _CountScratch()
+
+
+@hot_path
+def _count_buffers(n_banks: int, n_queries: int, *, zero: bool,
+                   reuse: bool) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The (B, Q) step1/step2/full matrices — recycled when allowed."""
+    if not reuse:
+        alloc = np.zeros if zero else np.empty
+        return (alloc((n_banks, n_queries), dtype=np.int64),
+                alloc((n_banks, n_queries), dtype=np.int64),
+                alloc((n_banks, n_queries), dtype=np.int64))
+    step1, step2, full = _count_scratch.counts(n_banks, n_queries)
+    if zero:
+        step1.fill(0)
+        step2.fill(0)
+        full.fill(0)
+    return step1, step2, full
 
 
 @dataclass

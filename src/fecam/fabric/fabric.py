@@ -25,6 +25,7 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import kernels as _kernels
 from ..analysis.markers import hot_path
 from ..designs import DesignKind
 from ..errors import OperationError, TernaryValueError
@@ -534,11 +535,16 @@ class TcamFabric:
         """
         n_q = len(queries)
         q_matrix = pack_queries(queries, self.width)
+        # reuse_buffers: the count matrices are fully reduced to
+        # per-query scalars before this method returns, so this thread's
+        # next batch may recycle them.
         with trace_stage("kernel.fused_count_matches", queries=n_q,
-                         banks=self.num_banks):
+                         banks=self.num_banks,
+                         kernel_backend=_kernels.backend_name()):
             counts = fused_count_matches(self.arena, q_matrix, mask_bits,
                                          n_banks=self.num_banks,
-                                         rows_per_bank=self.rows_per_bank)
+                                         rows_per_bank=self.rows_per_bank,
+                                         reuse_buffers=True)
         targets = trace_active()
         merge_start = time.perf_counter() if targets else 0.0
         energy = np.zeros(n_q, dtype=np.float64)

@@ -1,0 +1,311 @@
+/* fecam compiled match kernel.
+ *
+ * The two-step ternary match over the valid-compacted, bit-compressed
+ * derived planes (see fecam/planes.py):
+ *
+ *   step 1 (even cell positions):  (qe & ce) == ve
+ *   step 2 (odd  cell positions):  (qo & co) == vo
+ *
+ * All inputs are the exact arrays the NumPy kernel consumes —
+ * (M, C) uint32 row-major planes, (Q, C) uint32 packed queries — and
+ * all outputs are integer counts, so results are bit-identical to the
+ * NumPy evaluation by construction (the hypothesis suites enforce it).
+ *
+ * Evaluation is branchless per row (both steps always computed, the
+ * counts segmented afterwards): slower on paper than early-exit for
+ * wildcard-light tables, but it auto-vectorizes, which wins by an
+ * order of magnitude in practice.  The early-termination *energy*
+ * story is arithmetic over the counts downstream, not a property of
+ * how software evaluates them.
+ *
+ * Banks are contiguous row segments of the compacted planes
+ * (seg_starts has n_banks + 1 entries, bank b owning rows
+ * [seg_starts[b], seg_starts[b+1])) — exactly the segment structure
+ * the NumPy kernel recovers with reduceat/bincount.
+ *
+ * The omp pragmas are active only when built with -fopenmp; without
+ * it they are ignored and the kernel runs single-threaded.
+ */
+
+#include <stdint.h>
+
+#define FECAM_API __attribute__((visibility("default")))
+
+/* Bumped whenever an exported signature changes; the Python side
+ * refuses a library whose ABI does not match. */
+#define FECAM_KERNEL_ABI 3
+
+FECAM_API int64_t fecam_kernel_abi(void) { return FECAM_KERNEL_ABI; }
+
+FECAM_API int64_t fecam_kernel_openmp(void) {
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+/* Software pext(x, 0x5555...): identical masked-shift compaction to
+ * fecam.planes.compress_even, so compressed queries are bit-identical
+ * to the NumPy path's. */
+static inline uint32_t pext_even(uint64_t x) {
+    x &= 0x5555555555555555ULL;
+    x = (x | (x >> 1))  & 0x3333333333333333ULL;
+    x = (x | (x >> 2))  & 0x0F0F0F0F0F0F0F0FULL;
+    x = (x | (x >> 4))  & 0x00FF00FF00FF00FFULL;
+    x = (x | (x >> 8))  & 0x0000FFFF0000FFFFULL;
+    x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+    return (uint32_t)x;
+}
+
+/* Compress n packed uint64 query chunks into their even- and odd-bit
+ * uint32 halves (n = Q * n_chunks; layout is irrelevant elementwise). */
+FECAM_API void fecam_compress_queries(const uint64_t *q, int64_t n,
+                                      uint32_t *qe, uint32_t *qo) {
+    for (int64_t i = 0; i < n; i++) {
+        qe[i] = pext_even(q[i]);
+        qo[i] = pext_even(q[i] >> 1);
+    }
+}
+
+static inline int64_t row_eq(const uint32_t *q, const uint32_t *c,
+                             const uint32_t *v, int64_t n_chunks) {
+    uint32_t miss = 0;
+    for (int64_t k = 0; k < n_chunks; k++)
+        miss |= (q[k] & c[k]) ^ v[k];
+    return miss == 0;
+}
+
+/* Per-(bank, query) step-1 eliminations, step-2 misses, and full
+ * matches.  Outputs are (n_banks, n_q) int64 row-major; every cell is
+ * written, so callers may pass uninitialized buffers. */
+FECAM_API void fecam_count_matches(
+    const uint32_t *ce, const uint32_t *ve,
+    const uint32_t *co, const uint32_t *vo,       /* (M, C) row-major */
+    const uint32_t *qe, const uint32_t *qo,       /* (Q, C) row-major */
+    const int64_t *seg_starts,                    /* (n_banks + 1,)   */
+    int64_t n_banks, int64_t n_q, int64_t n_chunks,
+    int64_t *step1, int64_t *step2, int64_t *full, /* (n_banks, n_q)  */
+    int64_t *per_query                             /* (n_q,) totals   */)
+{
+    if (n_chunks == 1) {
+        /* Common case (width <= 64): one compressed chunk per row. */
+#pragma omp parallel for schedule(static)
+        for (int64_t q = 0; q < n_q; q++) {
+            const uint32_t qe_q = qe[q];
+            const uint32_t qo_q = qo[q];
+            int64_t q_total = 0;
+            for (int64_t b = 0; b < n_banks; b++) {
+                const int64_t lo = seg_starts[b];
+                const int64_t hi = seg_starts[b + 1];
+                int64_t surv = 0;
+                int64_t hits = 0;
+                for (int64_t m = lo; m < hi; m++) {
+                    const int64_t s1 = (qe_q & ce[m]) == ve[m];
+                    const int64_t s2 = (qo_q & co[m]) == vo[m];
+                    surv += s1;
+                    hits += s1 & s2;
+                }
+                step1[b * n_q + q] = (hi - lo) - surv;
+                step2[b * n_q + q] = surv - hits;
+                full[b * n_q + q] = hits;
+                q_total += hits;
+            }
+            per_query[q] = q_total;
+        }
+        return;
+    }
+#pragma omp parallel for schedule(static)
+    for (int64_t q = 0; q < n_q; q++) {
+        const uint32_t *qe_q = qe + q * n_chunks;
+        const uint32_t *qo_q = qo + q * n_chunks;
+        int64_t q_total = 0;
+        for (int64_t b = 0; b < n_banks; b++) {
+            const int64_t lo = seg_starts[b];
+            const int64_t hi = seg_starts[b + 1];
+            int64_t surv = 0;
+            int64_t hits = 0;
+            for (int64_t m = lo; m < hi; m++) {
+                const uint32_t *crow = ce + m * n_chunks;
+                const uint32_t *vrow = ve + m * n_chunks;
+                const int64_t s1 = row_eq(qe_q, crow, vrow, n_chunks);
+                surv += s1;
+                if (s1)
+                    hits += row_eq(qo_q, co + m * n_chunks,
+                                   vo + m * n_chunks, n_chunks);
+            }
+            step1[b * n_q + q] = (hi - lo) - surv;
+            step2[b * n_q + q] = surv - hits;
+            full[b * n_q + q] = hits;
+            q_total += hits;
+        }
+        per_query[q] = q_total;
+    }
+}
+
+/* Candidate-index ("sparse") variant of the count pass, mirroring the
+ * NumPy kernel's "table" strategy: the 256-entry step-1 index maps a
+ * query's low compressed even byte to the short ascending list of rows
+ * consistent with it; every other row is a guaranteed step-1 miss by
+ * index construction.  ce0_at/ve0_at are the candidates' chunk-0
+ * planes pre-gathered in index order (sequential reads), indices maps
+ * positions back to compacted-plane rows for the remaining chunks,
+ * step 2, and bank attribution.  For typical care densities this
+ * touches a few percent of the Q x M pairs.
+ *
+ * bank_of has M entries when n_banks > 1; with one bank it may be a
+ * dummy (it is never read). */
+FECAM_API void fecam_count_matches_sparse(
+    const uint32_t *ce, const uint32_t *ve,
+    const uint32_t *co, const uint32_t *vo,       /* (M, C) row-major */
+    const uint32_t *qe, const uint32_t *qo,       /* (Q, C) row-major */
+    const int64_t *indptr,                        /* (257,)           */
+    const int64_t *indices,                       /* (K,) rows, asc.  */
+    const uint32_t *ce0_at, const uint32_t *ve0_at, /* (K,) gathered  */
+    const int64_t *bank_of,                       /* (M,) or dummy    */
+    const int64_t *seg_counts,                    /* (n_banks,)       */
+    int64_t n_banks, int64_t n_q, int64_t n_chunks,
+    int64_t *step1, int64_t *step2, int64_t *full, /* (n_banks, n_q)  */
+    int64_t *per_query                             /* (n_q,) totals   */)
+{
+#pragma omp parallel
+    {
+        /* Non-candidates are step-1 misses: start every bank at its
+         * row count (decremented per survivor below) and zero the
+         * rest.  Done row-major up front — per-query column writes
+         * would touch a fresh cache line per (bank, query) cell. */
+#pragma omp for schedule(static)
+        for (int64_t b = 0; b < n_banks; b++) {
+            int64_t *r1 = step1 + b * n_q;
+            int64_t *r2 = step2 + b * n_q;
+            int64_t *rf = full + b * n_q;
+            const int64_t rows_b = seg_counts[b];
+            for (int64_t q = 0; q < n_q; q++) {
+                r1[q] = rows_b;
+                r2[q] = 0;
+                rf[q] = 0;
+            }
+        }
+#pragma omp for schedule(static)
+    for (int64_t q = 0; q < n_q; q++) {
+        const uint32_t *qe_q = qe + q * n_chunks;
+        const uint32_t *qo_q = qo + q * n_chunks;
+        const uint32_t qe0 = qe_q[0];
+        const int64_t xi = qe0 & 0xFF;
+        const int64_t start = indptr[xi];
+        const int64_t end = indptr[xi + 1];
+        /* First a pure chunk-0 survivor count over the bucket — a
+         * branch-free compare-sum the compiler vectorizes.  Most
+         * queries have zero survivors (the paper's step-1 miss rate),
+         * so the expensive per-survivor processing below rarely runs
+         * and the common case stays a straight SIMD reduction. */
+        int64_t n0 = 0;
+        for (int64_t pos = start; pos < end; pos++)
+            n0 += (int64_t)((qe0 & ce0_at[pos]) == ve0_at[pos]);
+        per_query[q] = 0;
+        if (n0 == 0)
+            continue;
+        int64_t q_total = 0;
+        for (int64_t pos = start; pos < end; pos++) {
+            if ((qe0 & ce0_at[pos]) != ve0_at[pos])
+                continue;   /* chunk-0 step-1 miss */
+            const int64_t m = indices[pos];
+            if (n_chunks > 1
+                && !row_eq(qe_q + 1, ce + m * n_chunks + 1,
+                           ve + m * n_chunks + 1, n_chunks - 1))
+                continue;   /* later-chunk step-1 miss */
+            const int64_t b = (n_banks > 1) ? bank_of[m] : 0;
+            step1[b * n_q + q]--;
+            if (row_eq(qo_q, co + m * n_chunks,
+                       vo + m * n_chunks, n_chunks)) {
+                full[b * n_q + q]++;
+                q_total++;
+            } else {
+                step2[b * n_q + q]++;
+            }
+        }
+        per_query[q] = q_total;
+    }
+    }  /* omp parallel */
+}
+
+/* Second pass: emit the matching (query, arena row) pairs, grouped by
+ * query with arena rows ascending — the NumPy kernel's (and a priority
+ * encoder's) order.  offsets is the (n_q + 1,) exclusive prefix sum of
+ * per-query match totals from fecam_count_matches; only queries that
+ * actually matched are rescanned, so the pass costs O(matching
+ * queries x rows), a vanishing share of typical workloads. */
+FECAM_API void fecam_fill_matches(
+    const uint32_t *ce, const uint32_t *ve,
+    const uint32_t *co, const uint32_t *vo,       /* (M, C) row-major */
+    const uint32_t *qe, const uint32_t *qo,       /* (Q, C) row-major */
+    const int64_t *valid_rows,                    /* (M,) arena rows  */
+    int64_t n_rows, int64_t n_q, int64_t n_chunks,
+    const int64_t *offsets,                       /* (n_q + 1,)       */
+    int64_t *match_q, int64_t *match_rows         /* (offsets[n_q],)  */)
+{
+#pragma omp parallel for schedule(dynamic, 64)
+    for (int64_t q = 0; q < n_q; q++) {
+        int64_t slot = offsets[q];
+        const int64_t end = offsets[q + 1];
+        if (slot == end)
+            continue;
+        const uint32_t *qe_q = qe + q * n_chunks;
+        const uint32_t *qo_q = qo + q * n_chunks;
+        for (int64_t m = 0; m < n_rows && slot < end; m++) {
+            if (row_eq(qe_q, ce + m * n_chunks,
+                       ve + m * n_chunks, n_chunks)
+                && row_eq(qo_q, co + m * n_chunks,
+                          vo + m * n_chunks, n_chunks)) {
+                match_q[slot] = q;
+                match_rows[slot] = valid_rows[m];
+                slot++;
+            }
+        }
+    }
+}
+
+/* Candidate-index variant of the fill pass.  Index lists ascend within
+ * each bucket, so walking one emits rows in the same ascending order
+ * as the full scan. */
+FECAM_API void fecam_fill_matches_sparse(
+    const uint32_t *ce, const uint32_t *ve,
+    const uint32_t *co, const uint32_t *vo,       /* (M, C) row-major */
+    const uint32_t *qe, const uint32_t *qo,       /* (Q, C) row-major */
+    const int64_t *indptr,                        /* (257,)           */
+    const int64_t *indices,                       /* (K,) rows, asc.  */
+    const uint32_t *ce0_at, const uint32_t *ve0_at, /* (K,) gathered  */
+    const int64_t *valid_rows,                    /* (M,) arena rows  */
+    int64_t n_q, int64_t n_chunks,
+    const int64_t *offsets,                       /* (n_q + 1,)       */
+    int64_t *match_q, int64_t *match_rows         /* (offsets[n_q],)  */)
+{
+#pragma omp parallel for schedule(dynamic, 64)
+    for (int64_t q = 0; q < n_q; q++) {
+        int64_t slot = offsets[q];
+        const int64_t end = offsets[q + 1];
+        if (slot == end)
+            continue;
+        const uint32_t *qe_q = qe + q * n_chunks;
+        const uint32_t *qo_q = qo + q * n_chunks;
+        const uint32_t qe0 = qe_q[0];
+        const int64_t xi = qe0 & 0xFF;
+        const int64_t bucket_end = indptr[xi + 1];
+        for (int64_t pos = indptr[xi];
+             pos < bucket_end && slot < end; pos++) {
+            if ((qe0 & ce0_at[pos]) != ve0_at[pos])
+                continue;
+            const int64_t m = indices[pos];
+            if (n_chunks > 1
+                && !row_eq(qe_q + 1, ce + m * n_chunks + 1,
+                           ve + m * n_chunks + 1, n_chunks - 1))
+                continue;
+            if (row_eq(qo_q, co + m * n_chunks,
+                       vo + m * n_chunks, n_chunks)) {
+                match_q[slot] = q;
+                match_rows[slot] = valid_rows[m];
+                slot++;
+            }
+        }
+    }
+}

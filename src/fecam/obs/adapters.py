@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, List
 
+from .. import kernels as _kernels
 from .registry import MetricsRegistry
 
 __all__ = ["instrument", "instrument_service", "instrument_store",
@@ -141,9 +142,17 @@ def instrument_store(store, registry: MetricsRegistry) -> Unregister:
     g_generation = registry.gauge(
         "fecam_store_generation",
         "Monotonic write-generation of the store content.")
+    g_kernel = registry.gauge(
+        "fecam_kernel_backend",
+        "Match-kernel backend in use (1 on the active backend's "
+        "label, 0 elsewhere).", labelnames=("backend",))
 
     def hook() -> None:
         stats = store.stats
+        active = _kernels.backend_name()
+        for name in ("numpy", "compiled"):
+            g_kernel.labels(backend=name).set(
+                1.0 if name == active else 0.0)
         c_searches.set_total(stats.searches)
         c_array_searches.set_total(stats.array_searches)
         c_writes.set_total(stats.writes)

@@ -43,8 +43,8 @@ import threading
 import time
 
 from collections import Counter, OrderedDict, deque
-from concurrent.futures import Future
-from dataclasses import dataclass, replace
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Any, Callable, Hashable, List, Optional,
                     Sequence, Tuple, Union)
 
@@ -61,6 +61,11 @@ if TYPE_CHECKING:  # avoid importing the full obs package eagerly
     from ..obs import Observability
 
 __all__ = ["SearchService", "ServedResult"]
+
+#: str.translate table deleting '0'/'1' — an already-canonical query
+#: translates to the empty string, so the submit fast path is one
+#: length check plus one C-level scan instead of a NumPy round trip.
+_NON_BINARY = str.maketrans("", "", "01")
 
 
 @dataclass(frozen=True)
@@ -88,18 +93,43 @@ class ServedResult:
         return self.result.match_keys
 
 
+class _Burst:
+    """One blocking ``search_many`` call: N requests, ONE shared future.
+
+    The future-per-request protocol costs a few microseconds per
+    request (Future construction, per-future condition locks on
+    set_result and result()); a burst collapses all of it to a single
+    future resolving to the ordered result list.  ``results``/
+    ``remaining``/``error`` are only mutated under the service mutex —
+    the dispatcher's completion sweep and close()'s rejection path can
+    touch members of the same burst concurrently.
+    """
+
+    __slots__ = ("future", "results", "remaining", "error")
+
+    def __init__(self, future: "Future", n: int):
+        self.future = future
+        self.results: List[Optional[ServedResult]] = [None] * n
+        self.remaining = n
+        self.error: Optional[BaseException] = None
+
+
 class _Pending:
     """One enqueued request (slotted: the queue churns at request rate)."""
 
-    __slots__ = ("bits", "mask", "future", "enqueued_at", "trace")
+    __slots__ = ("bits", "mask", "future", "enqueued_at", "trace",
+                 "burst", "slot")
 
     def __init__(self, bits: str, mask: Optional[str], future: "Future",
-                 enqueued_at: float, trace: Optional[Trace] = None):
+                 enqueued_at: float, trace: Optional[Trace] = None,
+                 burst: "Optional[_Burst]" = None, slot: int = 0):
         self.bits = bits
         self.mask = mask
         self.future = future
         self.enqueued_at = enqueued_at
         self.trace = trace
+        self.burst = burst
+        self.slot = slot
 
 
 class SearchService:
@@ -131,6 +161,12 @@ class SearchService:
         pin batch composition — then call :meth:`start`.
     latency_window:
         Size of the latency reservoir behind the p50/p99 stats.
+    use_cache:
+        Serve dispatches through the store's query cache (default).
+        Pass ``False`` for unique-query workloads: the per-query cache
+        bookkeeping (key lookups, puts, snapshot copies) then costs
+        more than it ever saves, and skipping it measurably fattens
+        peak throughput.
     obs:
         An optional :class:`~fecam.obs.Observability` bundle.  When set,
         the dispatcher feeds its request-latency histogram (one lock per
@@ -144,6 +180,7 @@ class SearchService:
     def __init__(self, store: CamStore, *, max_batch: int = 64,
                  max_wait: float = 0.0, max_queue: int = 1024,
                  start: bool = True, latency_window: int = 4096,
+                 use_cache: bool = True,
                  obs: "Optional[Observability]" = None):
         if max_batch < 1:
             raise OperationError("max_batch must be at least 1")
@@ -155,6 +192,7 @@ class SearchService:
         self.max_batch = max_batch
         self.max_wait = max_wait
         self.max_queue = max_queue
+        self.use_cache = use_cache
         self._rw = RWLock()
         # One mutex guards the queue and every counter; the condition
         # wakes the dispatcher on submissions and close().
@@ -247,7 +285,7 @@ class SearchService:
             if pending.trace is not None:
                 pending.trace.root.attrs["error"] = repr(error)
                 self._obs.tracer.finish(pending.trace)
-            self._complete_error(pending.future, error)
+            self._complete_error(pending, error)
         if thread is not None:
             thread.join(timeout)
             return not thread.is_alive()
@@ -266,6 +304,32 @@ class SearchService:
 
     # -- front doors -------------------------------------------------------------
 
+    def _prepare(self, query: Union[Query, str],
+                 mask: Optional[str]) -> Tuple[str, Optional[str]]:
+        """Validate one request; returns ``(bits, effective_mask)``.
+
+        Plain canonical '0'/'1' strings of the right width — the
+        overwhelming serving case — skip both the ``Query`` wrapper and
+        the NumPy normalization round trip.  Everything non-canonical
+        (aliases, int sequences, bad widths) takes the full
+        normalization path and raises the same errors it always did.
+        """
+        if type(query) is str:
+            bits: Any = query
+            own_mask: Optional[str] = None
+        else:
+            coerced = Query.coerce(query)
+            bits = coerced.bits
+            own_mask = coerced.mask
+        if not (isinstance(bits, str) and len(bits) == self.store.width
+                and not bits.translate(_NON_BINARY)):
+            bits = normalize_queries([bits], self.store.width)[0]
+        if own_mask is not None and mask is not None \
+                and own_mask != mask:
+            raise OperationError(
+                "the query's own mask conflicts with the mask argument")
+        return bits, (own_mask if own_mask is not None else mask)
+
     def submit(self, query: Union[Query, str],
                mask: Optional[str] = None) -> "Future[ServedResult]":
         """Enqueue one request; returns a future of :class:`ServedResult`.
@@ -274,13 +338,7 @@ class SearchService:
         fails its own future's caller immediately instead of poisoning
         the batch it would have ridden.
         """
-        query = Query.coerce(query)
-        bits = normalize_queries([query.bits], self.store.width)[0]
-        if query.mask is not None and mask is not None \
-                and query.mask != mask:
-            raise OperationError(
-                "the query's own mask conflicts with the mask argument")
-        effective_mask = query.mask if query.mask is not None else mask
+        bits, effective_mask = self._prepare(query, mask)
         future: "Future[ServedResult]" = Future()
         enqueued_at = time.perf_counter()
         trace = None
@@ -325,8 +383,74 @@ class SearchService:
     def submit_many(self, queries: Sequence[Union[Query, str]],
                     mask: Optional[str] = None
                     ) -> "List[Future[ServedResult]]":
-        """Enqueue a burst; per-request futures, same order."""
-        return [self.submit(query, mask) for query in queries]
+        """Enqueue a burst; per-request futures, same order.
+
+        The bulk front door: the whole burst is validated up front,
+        then enqueued under a single mutex hold with one dispatcher
+        wakeup, so a burst costs a fraction of ``len(queries)``
+        individual :meth:`submit` calls.  Validation and backpressure
+        are all-or-nothing — a malformed query, or a burst that does
+        not fit under ``max_queue``, rejects the burst before any of
+        it enqueues.
+        """
+        enqueued_at, pendings = self._build_burst(queries, mask,
+                                                  shared_future=None)
+        self._enqueue(pendings)
+        return [pending.future for pending in pendings]
+
+    def _build_burst(self, queries: Sequence[Union[Query, str]],
+                     mask: Optional[str], *,
+                     shared_future: "Optional[Future]"
+                     ) -> Tuple[float, List[_Pending]]:
+        """Validate a burst and wrap it in pendings, not yet enqueued.
+
+        With ``shared_future`` the whole burst rides one :class:`_Burst`
+        handle; without, every pending gets its own future.
+        """
+        prepared = [self._prepare(query, mask) for query in queries]
+        enqueued_at = time.perf_counter()
+        tracer = self._tracer
+        burst = (None if shared_future is None
+                 else _Burst(shared_future, len(prepared)))
+        pendings: List[_Pending] = []
+        for slot, (bits, effective_mask) in enumerate(prepared):
+            trace = None
+            if tracer is not None and tracer.sampler():
+                trace = tracer.begin(enqueued_at)
+                trace.root.attrs["bits"] = bits
+                trace.root.attrs["mask"] = effective_mask
+            future = shared_future if shared_future is not None else Future()
+            pendings.append(_Pending(bits, effective_mask, future,
+                                     enqueued_at, trace, burst, slot))
+        return enqueued_at, pendings
+
+    def _enqueue(self, pendings: List[_Pending]) -> None:
+        """Admit a validated burst under one mutex hold, one wakeup.
+
+        All-or-nothing backpressure: a burst that does not fit under
+        ``max_queue`` raises without enqueueing any of it.
+        """
+        try:
+            with self._mutex:
+                if self._closed:
+                    raise ServiceClosed("service is closed")
+                if len(self._queue) + len(pendings) > self.max_queue:
+                    self._overloads += 1
+                    raise ServiceOverloaded(
+                        f"burst of {len(pendings)} does not fit in the "
+                        f"request queue ({self.max_queue} pending max)")
+                self._queue.extend(pendings)
+                self._submitted += len(pendings)
+                depth = len(self._queue)
+                if depth > self._max_queue_depth:
+                    self._max_queue_depth = depth
+                self._wakeup.notify_all()
+        except (ServiceClosed, ServiceOverloaded) as exc:
+            for pending in pendings:
+                if pending.trace is not None:
+                    pending.trace.root.attrs["error"] = repr(exc)
+                    self._obs.tracer.finish(pending.trace)
+            raise
 
     def search(self, query: Union[Query, str],
                mask: Optional[str] = None, *,
@@ -337,9 +461,24 @@ class SearchService:
     def search_many(self, queries: Sequence[Union[Query, str]],
                     mask: Optional[str] = None, *,
                     timeout: Optional[float] = None) -> List[ServedResult]:
-        """Blocking burst: submit all, then wait for all, in order."""
-        futures = self.submit_many(queries, mask)
-        return [future.result(timeout) for future in futures]
+        """Blocking burst: submit all, then wait for all, in order.
+
+        The burst shares ONE internal future (see :class:`_Burst`):
+        the caller blocks once and the dispatcher resolves once, so a
+        large burst skips the per-request Future construction,
+        ``set_result`` and ``result()`` lock traffic that
+        :meth:`submit_many` pays.  Requests still coalesce into fused
+        batches individually; the future resolves when the last member
+        is served, with the burst's first dispatch error if any member
+        failed.
+        """
+        if not queries:
+            return []
+        shared: "Future[List[ServedResult]]" = Future()
+        _enqueued_at, pendings = self._build_burst(queries, mask,
+                                                   shared_future=shared)
+        self._enqueue(pendings)
+        return shared.result(timeout)
 
     async def asearch(self, query: Union[Query, str],
                       mask: Optional[str] = None) -> ServedResult:
@@ -502,10 +641,11 @@ class SearchService:
                                         for trace, span in kernel_spans]):
                             results = self.store.search_batch(
                                 [pending.bits for pending in group],
-                                mask=mask)
+                                mask=mask, use_cache=self.use_cache)
                     else:
                         results = self.store.search_batch(
-                            [pending.bits for pending in group], mask=mask)
+                            [pending.bits for pending in group], mask=mask,
+                            use_cache=self.use_cache)
                 except Exception as exc:  # fail the group, keep serving
                     if kernel_spans:
                         now = time.perf_counter()
@@ -522,10 +662,9 @@ class SearchService:
                     # so served results must hold copies or a later
                     # write would retroactively rewrite them — the
                     # torn read the stress suite's serial replay
-                    # catches.
-                    frozen = [
-                        replace(r, matches=[replace(m) for m in r.matches])
-                        for r in results]
+                    # catches.  freeze() snapshots field tuples and
+                    # materializes Match objects lazily.
+                    frozen = [r.freeze() for r in results]
                     if kernel_spans:
                         freeze_done = time.perf_counter()
                         for trace, _span in kernel_spans:
@@ -552,13 +691,14 @@ class SearchService:
         # metrics-only serving takes the same completion path as
         # obs-off and folds its latencies in one batch-level sweep.
         per_request_obs = bool(traced) or slow_threshold is not None
+        deliveries: List[Tuple[_Pending, ServedResult]] = []
         for group, error, results in outcomes:
             if error is not None:
                 for pending in group:
                     if pending.trace is not None:
                         pending.trace.root.attrs["error"] = repr(error)
                         obs.tracer.finish(pending.trace, completed_at)
-                    self._complete_error(pending.future, error)
+                    self._complete_error(pending, error)
                 continue
             if per_request_obs:
                 for pending, result in zip(group, results):
@@ -574,14 +714,15 @@ class SearchService:
                             bits=pending.bits, mask=pending.mask,
                             latency=latency, generation=generation,
                             batch_size=size, matches=len(result.matches))
-                    self._complete(pending.future, ServedResult(
+                    deliveries.append((pending, ServedResult(
                         result=result, generation=generation,
-                        latency=latency))
+                        latency=latency)))
             else:
                 for pending, result in zip(group, results):
-                    self._complete(pending.future, ServedResult(
+                    deliveries.append((pending, ServedResult(
                         result=result, generation=generation,
-                        latency=completed_at - pending.enqueued_at))
+                        latency=completed_at - pending.enqueued_at)))
+        self._complete_batch(deliveries)
         if obs is not None:
             # One histogram lock acquisition for the whole drain; the
             # listcomp re-derives latencies C-side rather than taxing
@@ -592,24 +733,71 @@ class SearchService:
             if latencies:
                 obs.record_latencies(latencies)
 
-    def _complete(self, future: "Future[ServedResult]",
-                  served: ServedResult) -> None:
-        if not future.set_running_or_notify_cancel():
-            return  # caller cancelled while queued; nothing to deliver
-        # Count before completing: a caller reading stats right after
-        # its result resolves must see itself served.
-        with self._mutex:
-            self._served += 1
-            self._latencies.record(served.latency)
-        future.set_result(served)
+    def _complete_batch(
+            self, deliveries: "List[Tuple[_Pending, ServedResult]]"
+    ) -> None:
+        """Deliver one drain's results with a single counter-mutex hold.
 
-    def _complete_error(self, future: "Future[ServedResult]",
+        Counting happens before any future resolves: a caller reading
+        stats right after its result arrives must see itself served.
+        Burst members fill their slot and only the last one resolves
+        the shared future; burst bookkeeping stays under the mutex
+        because close()'s rejection path may race the dispatcher on
+        siblings of the same burst.
+        """
+        singles: "List[Tuple[Future[ServedResult], ServedResult]]" = []
+        resolved: List[_Burst] = []
+        with self._mutex:
+            served = 0
+            record = self._latencies.record
+            for pending, result in deliveries:
+                burst = pending.burst
+                if burst is None:
+                    # Cancelled-while-queued futures drop out here;
+                    # nothing to deliver, nothing to count.
+                    if not pending.future.set_running_or_notify_cancel():
+                        continue
+                    singles.append((pending.future, result))
+                else:
+                    burst.results[pending.slot] = result
+                    burst.remaining -= 1
+                    if burst.remaining == 0:
+                        resolved.append(burst)
+                served += 1
+                record(result.latency)
+            self._served += served
+        for future, result in singles:
+            future.set_result(result)
+        for burst in resolved:
+            try:
+                if burst.error is not None:
+                    burst.future.set_exception(burst.error)
+                else:
+                    burst.future.set_result(burst.results)
+            except InvalidStateError:
+                pass  # the burst caller cancelled; results are dropped
+
+    def _complete_error(self, pending: _Pending,
                         error: BaseException) -> None:
-        if not future.set_running_or_notify_cancel():
+        burst = pending.burst
+        if burst is None:
+            if not pending.future.set_running_or_notify_cancel():
+                return
+            with self._mutex:
+                self._failed += 1
+            pending.future.set_exception(error)
             return
         with self._mutex:
             self._failed += 1
-        future.set_exception(error)
+            if burst.error is None:
+                burst.error = error
+            burst.remaining -= 1
+            resolve = burst.remaining == 0
+        if resolve:
+            try:
+                burst.future.set_exception(burst.error)
+            except InvalidStateError:
+                pass  # the burst caller cancelled; the error is dropped
 
     # -- telemetry ---------------------------------------------------------------
 

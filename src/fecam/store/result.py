@@ -16,11 +16,12 @@ fabric-backed apps spoke :class:`~fecam.fabric.FabricSearchResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, List, Optional, Tuple
+from typing import (Any, Hashable, Iterator, List, Optional, Sequence,
+                    Tuple)
 
 from ..errors import TernaryValueError
 
-__all__ = ["Query", "Match", "QueryResult", "StoreStats"]
+__all__ = ["Query", "Match", "LazyMatches", "QueryResult", "StoreStats"]
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,57 @@ class Match:
         return (self.priority, self.seq)
 
 
+class LazyMatches(Sequence):
+    """A frozen match list that materializes :class:`Match` objects on
+    first access.
+
+    Holds the per-match field tuples captured at freeze time (so later
+    writes to the backend's live ``Match`` objects cannot leak in) and
+    defers constructing ``Match`` instances until somebody actually
+    looks: a served result that is only counted, or whose caller reads
+    nothing beyond ``len()``, never pays the per-match object builds.
+    """
+
+    __slots__ = ("_rows", "_items")
+
+    def __init__(self, rows: List[Tuple]):
+        self._rows = rows          # (key, word, priority, bank, row,
+        self._items: Optional[List[Match]] = None   # payload, seq)
+
+    @classmethod
+    def snapshot(cls, matches: Sequence[Match]) -> "LazyMatches":
+        """Capture the field state of live matches without building
+        detached ``Match`` objects yet."""
+        return cls([(m.key, m.word, m.priority, m.bank, m.row,
+                     m.payload, m.seq) for m in matches])
+
+    def _materialize(self) -> List[Match]:
+        items = self._items
+        if items is None:
+            items = [Match(*row) for row in self._rows]
+            self._items = items
+        return items
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __iter__(self) -> Iterator[Match]:
+        return iter(self._materialize())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LazyMatches):
+            other = other._materialize()
+        if isinstance(other, list):
+            return self._materialize() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LazyMatches({self._materialize()!r})"
+
+
 @dataclass
 class QueryResult:
     """Priority-ordered matches of one query and what serving it cost.
@@ -73,10 +125,25 @@ class QueryResult:
     """
 
     query: Query
-    matches: List[Match] = field(default_factory=list)
+    matches: Sequence[Match] = field(default_factory=list)
     energy: float = 0.0    # J, summed over every bank that fired
     latency: float = 0.0   # s, worst bank (banks search in parallel)
     cached: bool = False
+
+    def freeze(self) -> "QueryResult":
+        """A frozen snapshot detached from the backend's live matches.
+
+        Backends reuse live :class:`Match` objects (``update()``
+        mutates word/payload in place), so anything that outlives the
+        lock it was computed under must hold copies.  The snapshot is
+        field tuples plus a :class:`LazyMatches` view — cheaper than
+        cloning ``Match`` objects eagerly, with materialization paid
+        only by results that are actually inspected.
+        """
+        return QueryResult(query=self.query,
+                           matches=LazyMatches.snapshot(self.matches),
+                           energy=self.energy, latency=self.latency,
+                           cached=self.cached)
 
     @property
     def best(self) -> Optional[Match]:

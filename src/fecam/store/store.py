@@ -258,6 +258,10 @@ class CamStore:
         # batch, so any disagreement — including a masked Query next to
         # an unmasked one — must be an error, never a silent leak of
         # one query's mask onto its neighbours.
+        if all(type(query) is str for query in queries):
+            # Plain-string batches (the serving hot path) carry no
+            # per-query mask, so the conflict accounting below is moot.
+            return normalize_queries(queries, self.width), mask
         bits: List[str] = []
         effective_masks = set()
         for query in queries:

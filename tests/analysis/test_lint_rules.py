@@ -373,11 +373,61 @@ def cold_path(rows, out, arena):
 """
 
 
+FCA005_EXEMPT_FIXTURE = """\
+import time
+from fecam.analysis.markers import hot_path
+
+
+@hot_path(exempt="ctypes shim: loops run in compiled code")
+def exempt_shim(rows, out, arena):
+    start = time.time()
+    local = arena.copy()
+    for row in rows:
+        out.append(row)
+    return start, local
+
+
+@hot_path
+def still_checked(rows, out):
+    for row in rows:
+        out.append(row)  # BAD
+"""
+
+FCA005_NON_EXEMPT_CALLS = """\
+import time
+from fecam.analysis.markers import hot_path
+
+
+@hot_path(exempt="")
+def empty_reason(out, rows):
+    for row in rows:
+        out.append(row)  # BAD: empty reason exempts nothing
+
+
+@hot_path(exempt=reason_variable)
+def dynamic_reason(out, rows):
+    for row in rows:
+        out.append(row)  # BAD: reason must be a literal
+"""
+
+
 class TestHotPathHygiene:
     def test_fixture(self, tmp_path):
         result = lint_source(tmp_path, FCA005_FIXTURE)
         assert codes_and_lines(result) == [
             ("FCA005", line) for line in expect_lines(FCA005_FIXTURE)]
+
+    def test_exempt_decorator_suppresses_checks(self, tmp_path):
+        result = lint_source(tmp_path, FCA005_EXEMPT_FIXTURE)
+        assert codes_and_lines(result) == [
+            ("FCA005", line) for line in
+            expect_lines(FCA005_EXEMPT_FIXTURE)]
+
+    def test_only_literal_nonempty_reasons_exempt(self, tmp_path):
+        result = lint_source(tmp_path, FCA005_NON_EXEMPT_CALLS)
+        assert codes_and_lines(result) == [
+            ("FCA005", line) for line in
+            expect_lines(FCA005_NON_EXEMPT_CALLS)]
 
 
 # -- FCA006: observability hygiene ---------------------------------------------

@@ -1,0 +1,55 @@
+"""Runtime behavior of the hot-path marker's two forms.
+
+The bare form is the historical FCA005 opt-in; the called form
+(``@hot_path(exempt="reason")``) marks the function *and* records an
+auditable exemption reason for the linter and the sanitizer.
+"""
+
+import pytest
+
+from fecam.analysis.markers import (hot_path, hot_path_exemption,
+                                    is_hot_path)
+
+
+def test_bare_form_marks_without_exemption():
+    @hot_path
+    def kernel():
+        pass
+
+    assert is_hot_path(kernel)
+    assert hot_path_exemption(kernel) is None
+
+
+def test_called_form_marks_and_records_reason():
+    @hot_path(exempt="loops run in compiled code")
+    def shim():
+        pass
+
+    assert is_hot_path(shim)
+    assert hot_path_exemption(shim) == "loops run in compiled code"
+
+
+@pytest.mark.parametrize("bad", [None, ""])
+def test_called_form_requires_a_reason(bad):
+    with pytest.raises(ValueError, match="exempt"):
+        hot_path(exempt=bad)
+
+
+def test_decorators_are_runtime_noops():
+    def plain(x):
+        return x + 1
+
+    marked = hot_path(plain)
+    assert marked is plain
+    assert marked(2) == 3
+
+    wrapped = hot_path(exempt="why")(plain)
+    assert wrapped is plain
+
+
+def test_introspection_on_unmarked_objects():
+    def cold():
+        pass
+
+    assert not is_hot_path(cold)
+    assert hot_path_exemption(cold) is None

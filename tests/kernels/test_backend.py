@@ -1,0 +1,144 @@
+"""Backend registry policy: selection, forcing, and graceful fallback.
+
+The contract under test: ``FECAM_KERNEL=numpy`` never touches the
+compiler; ``auto`` silently falls back when the compiled kernel cannot
+be provided; ``compiled`` (policy) falls back with a one-time warning;
+per-call ``kernel="compiled"`` is strict and raises instead.  Import or
+build failures are cached per process and cleared by
+:func:`fecam.kernels.reset_backend`.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from fecam import kernels
+from fecam.errors import KernelUnavailableError, TernaryValueError
+from fecam.fabric.batch import fused_count_matches, pack_queries
+from fecam.functional import pack_words
+from fecam.planes import TernaryPlanes
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    kernels.reset_backend()
+    yield
+    kernels.reset_backend()
+
+
+@pytest.fixture
+def broken_toolchain(monkeypatch):
+    """Simulate an import/build failure: every load attempt raises."""
+
+    def boom():
+        raise KernelUnavailableError("simulated: no toolchain")
+
+    from fecam.kernels import compiled as compiled_mod
+    monkeypatch.setattr(compiled_mod, "load_library", boom)
+
+
+def small_search(kernel="auto"):
+    planes = TernaryPlanes(rows=4, width=8)
+    value, care = pack_words(["0101XXXX"], 8)
+    planes.set_row(0, value[0], care[0])
+    q_values = pack_queries(["01010000", "11111111"], 8)
+    return fused_count_matches(planes, q_values, n_banks=2, kernel=kernel)
+
+
+def test_numpy_policy_never_builds(monkeypatch):
+    monkeypatch.setenv("FECAM_KERNEL", "numpy")
+
+    def must_not_build():  # the numpy policy short-circuits before this
+        raise AssertionError("FECAM_KERNEL=numpy attempted a build")
+
+    from fecam.kernels import compiled as compiled_mod
+    monkeypatch.setattr(compiled_mod, "load_library", must_not_build)
+    assert kernels.active_kernel() is None
+    assert kernels.backend_name() == "numpy"
+    counts = small_search()
+    assert counts.kernel in ("table", "dense", "mixed")
+    assert counts.full_matches[0, 0] == 1
+
+
+def test_auto_falls_back_silently(monkeypatch, broken_toolchain):
+    monkeypatch.setenv("FECAM_KERNEL", "auto")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert kernels.active_kernel() is None
+    counts = small_search()
+    assert counts.kernel in ("table", "dense", "mixed")
+
+
+def test_compiled_policy_warns_once_then_falls_back(monkeypatch,
+                                                    broken_toolchain):
+    monkeypatch.setenv("FECAM_KERNEL", "compiled")
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        assert kernels.active_kernel() is None
+    # The warning is a one-time latch; later calls stay quiet.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert kernels.active_kernel() is None
+        counts = small_search()
+    assert counts.kernel in ("table", "dense", "mixed")
+
+
+def test_per_call_force_is_strict(broken_toolchain):
+    with pytest.raises(KernelUnavailableError, match="simulated"):
+        small_search(kernel="compiled")
+    # The failure is cached: the second attempt raises without retrying
+    # the build (broken_toolchain would raise a fresh error otherwise).
+    with pytest.raises(KernelUnavailableError, match="simulated"):
+        kernels.compiled_kernel()
+    assert not kernels.compiled_available()
+
+
+def test_reset_backend_clears_cached_failure(monkeypatch):
+    from fecam.kernels import compiled as compiled_mod
+
+    # Pin the auto policy: an inherited FECAM_KERNEL=numpy would keep
+    # backend_name() at "numpy" even after the failure cache clears.
+    monkeypatch.delenv("FECAM_KERNEL", raising=False)
+
+    def boom():
+        raise KernelUnavailableError("simulated: no toolchain")
+
+    with monkeypatch.context() as patched:
+        patched.setattr(compiled_mod, "load_library", boom)
+        assert not kernels.compiled_available()
+    # Still cached after the patch lifts ...
+    assert not kernels.compiled_available()
+    kernels.reset_backend()
+    # ... and re-resolved from scratch after a reset.
+    if kernels.compiled_available():
+        assert kernels.backend_name() == "compiled"
+
+
+def test_set_backend_forces_and_validates(monkeypatch):
+    monkeypatch.setenv("FECAM_KERNEL", "auto")
+    kernels.set_backend("numpy")
+    assert kernels.active_kernel() is None
+    assert kernels.backend_name() == "numpy"
+    kernels.set_backend(None)  # back to the environment policy
+    with pytest.raises(TernaryValueError, match="backend"):
+        kernels.set_backend("fortran")
+
+
+def test_unrecognized_env_warns_and_uses_auto(monkeypatch,
+                                              broken_toolchain):
+    monkeypatch.setenv("FECAM_KERNEL", "turbo")
+    with pytest.warns(RuntimeWarning, match="not recognized"):
+        assert kernels.active_kernel() is None  # auto + broken = numpy
+
+
+@pytest.mark.skipif(not kernels.compiled_available(),
+                    reason="compiled kernel unavailable")
+def test_auto_resolves_to_compiled_when_buildable(monkeypatch):
+    monkeypatch.delenv("FECAM_KERNEL", raising=False)
+    kernels.reset_backend()
+    assert kernels.backend_name() == "compiled"
+    counts = small_search()
+    assert counts.kernel == "compiled"
+    assert counts.full_matches[0, 0] == 1
+    assert counts.step1_eliminated.shape == (2, 2)
+    assert counts.rows_searched.dtype == np.int64

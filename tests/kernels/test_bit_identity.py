@@ -1,0 +1,150 @@
+"""Bit-identity of the compiled match kernel against the NumPy kernel.
+
+The compiled backend is only admissible because it is *exactly* the
+same function: integer counts equal cell-for-cell, match lists equal
+element-for-element (grouped by query, arena rows ascending), and the
+C software-pext equal to :func:`fecam.planes.compress_even` bit-for-bit.
+These properties are enforced here against both NumPy step-1
+strategies, over masked searches, empty banks, and all-wildcard rows.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fecam import kernels
+from fecam.fabric.batch import fused_count_matches, pack_queries
+from fecam.functional import pack_words
+from fecam.planes import TernaryPlanes, compress_even
+
+pytestmark = pytest.mark.skipif(
+    not kernels.compiled_available(),
+    reason="compiled kernel unavailable (no C compiler)")
+
+
+def build_planes(rng, rows, width, alphabet, fill=1.0):
+    planes = TernaryPlanes(rows=rows, width=width)
+    filled = []
+    for row in range(rows):
+        if rng.random() >= fill:
+            continue
+        word = "".join(rng.choice(alphabet) for _ in range(width))
+        value, care = pack_words([word], width)
+        planes.set_row(row, value[0], care[0])
+        filled.append(row)
+    return planes, filled
+
+
+def random_queries(rng, n, width):
+    return ["".join(rng.choice("01") for _ in range(width))
+            for _ in range(n)]
+
+
+def assert_identical(a, b):
+    np.testing.assert_array_equal(a.rows_searched, b.rows_searched)
+    np.testing.assert_array_equal(a.step1_eliminated, b.step1_eliminated)
+    np.testing.assert_array_equal(a.step2_misses, b.step2_misses)
+    np.testing.assert_array_equal(a.full_matches, b.full_matches)
+    assert list(a.match_q) == list(b.match_q)
+    assert list(a.match_rows) == list(b.match_rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_compiled_matches_numpy(data):
+    """The headline property: identical counts and identically-ordered
+    matches between the compiled kernel and both NumPy strategies."""
+    width = data.draw(st.sampled_from([4, 8, 64, 70, 150]), label="width")
+    banks = data.draw(st.integers(1, 4), label="banks")
+    rows = data.draw(st.integers(1, 24), label="rows_per_bank")
+    n_queries = data.draw(st.integers(1, 48), label="n_queries")
+    fill = data.draw(st.sampled_from([0.0, 0.4, 1.0]), label="fill")
+    rng = random.Random(data.draw(st.integers(0, 2**31), label="seed"))
+    # X-heavy so step-1 survivors and full matches actually occur.
+    planes, _ = build_planes(rng, banks * rows, width, "01XXX", fill)
+    q_values = pack_queries(random_queries(rng, n_queries, width), width)
+    compiled = fused_count_matches(planes, q_values, n_banks=banks,
+                                   kernel="compiled")
+    assert compiled.kernel == "compiled" or compiled.rows_searched.sum() == 0
+    for strategy in ("table", "dense"):
+        reference = fused_count_matches(planes, q_values, n_banks=banks,
+                                        kernel=strategy)
+        assert_identical(compiled, reference)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_compiled_matches_numpy_masked(data):
+    """Global-mask searches (the dense-only NumPy path) stay identical;
+    the mask changes the derived planes per search, so this also covers
+    the compiled kernel's uncached/ad-hoc derived input."""
+    width = data.draw(st.sampled_from([8, 64, 70]), label="width")
+    banks = data.draw(st.integers(1, 3), label="banks")
+    rows = data.draw(st.integers(1, 16), label="rows_per_bank")
+    rng = random.Random(data.draw(st.integers(0, 2**31), label="seed"))
+    planes, _ = build_planes(rng, banks * rows, width, "01XX")
+    q_values = pack_queries(random_queries(rng, 16, width), width)
+    mask = "".join(rng.choice("01") for _ in range(width))
+    mask_bits, _ = pack_words([mask.replace("0", "X")], width)
+    compiled = fused_count_matches(planes, q_values, mask_bits[0],
+                                   n_banks=banks, kernel="compiled")
+    reference = fused_count_matches(planes, q_values, mask_bits[0],
+                                    n_banks=banks, kernel="dense")
+    assert_identical(compiled, reference)
+
+
+def test_empty_banks_and_empty_planes():
+    """Zero valid rows (and banks with zero valid rows among occupied
+    ones) resolve identically: every count zero, no matches."""
+    rng = random.Random(7)
+    planes = TernaryPlanes(rows=12, width=8)
+    q_values = pack_queries(random_queries(rng, 9, 8), 8)
+    empty_c = fused_count_matches(planes, q_values, n_banks=3,
+                                  kernel="compiled")
+    empty_n = fused_count_matches(planes, q_values, n_banks=3,
+                                  kernel="table")
+    assert_identical(empty_c, empty_n)
+    assert empty_c.full_matches.sum() == 0
+    # Occupy only the middle bank: the outer banks stay empty segments.
+    for row in (4, 5, 6):
+        value, care = pack_words(["0101XXXX"], 8)
+        planes.set_row(row, value[0], care[0])
+    part_c = fused_count_matches(planes, q_values, n_banks=3,
+                                 kernel="compiled")
+    for strategy in ("table", "dense"):
+        assert_identical(part_c, fused_count_matches(
+            planes, q_values, n_banks=3, kernel=strategy))
+    assert part_c.rows_searched.tolist() == [0, 3, 0]
+
+
+def test_all_wildcard_rows_match_everything():
+    """All-X rows defeat the step-1 candidate index (every row is a
+    candidate of every bucket) and must match every query."""
+    width, rows, banks = 16, 8, 2
+    planes = TernaryPlanes(rows=rows, width=width)
+    value, care = pack_words(["X" * width] * rows, width)
+    planes.set_rows(np.arange(rows), value, care)
+    rng = random.Random(11)
+    q_values = pack_queries(random_queries(rng, 10, width), width)
+    compiled = fused_count_matches(planes, q_values, n_banks=banks,
+                                   kernel="compiled")
+    for strategy in ("table", "dense"):
+        assert_identical(compiled, fused_count_matches(
+            planes, q_values, n_banks=banks, kernel=strategy))
+    assert compiled.full_matches.sum() == rows * 10
+    assert len(compiled.match_q) == rows * 10
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=64))
+def test_c_pext_equals_compress_even(values):
+    """The C software-pext is bit-identical to compress_even for both
+    the even and odd (shifted) halves."""
+    kernel = kernels.compiled_kernel()
+    q = np.array(values, dtype=np.uint64).reshape(-1, 1)
+    qe, qo = kernel.compress_queries(q)
+    np.testing.assert_array_equal(qe, compress_even(q))
+    np.testing.assert_array_equal(qo, compress_even(q >> np.uint64(1)))

@@ -1,0 +1,91 @@
+"""The serve path's recycled buffers: thread-local count scratch.
+
+``reuse_buffers=True`` must hand back correct counts while recycling
+the same backing storage across calls on one thread, and never share
+storage across threads (the fabric read lock admits concurrent
+searchers).
+"""
+
+import random
+import threading
+
+import numpy as np
+
+from fecam.fabric.batch import fused_count_matches, pack_queries
+from fecam.functional import pack_words
+from fecam.planes import TernaryPlanes
+
+
+def build(rows=8, width=8, seed=3):
+    rng = random.Random(seed)
+    planes = TernaryPlanes(rows=rows, width=width)
+    words = ["".join(rng.choice("01X") for _ in range(width))
+             for _ in range(rows)]
+    value, care = pack_words(words, width)
+    planes.set_rows(np.arange(rows), value, care)
+    queries = ["".join(rng.choice("01") for _ in range(width))
+               for _ in range(12)]
+    return planes, pack_queries(queries, width)
+
+
+def test_reused_counts_match_fresh_allocations():
+    planes, q_values = build()
+    fresh = fused_count_matches(planes, q_values, n_banks=2)
+    reused = fused_count_matches(planes, q_values, n_banks=2,
+                                 reuse_buffers=True)
+    np.testing.assert_array_equal(fresh.step1_eliminated,
+                                  reused.step1_eliminated)
+    np.testing.assert_array_equal(fresh.step2_misses, reused.step2_misses)
+    np.testing.assert_array_equal(fresh.full_matches, reused.full_matches)
+    assert list(fresh.match_q) == list(reused.match_q)
+    assert list(fresh.match_rows) == list(reused.match_rows)
+
+
+def test_reused_buffers_share_storage_within_a_thread():
+    planes, q_values = build()
+    first = fused_count_matches(planes, q_values, n_banks=2,
+                                reuse_buffers=True)
+    base = first.step1_eliminated.base  # the flat scratch arena
+    assert base is not None
+    second = fused_count_matches(planes, q_values, n_banks=2,
+                                 reuse_buffers=True)
+    assert second.step1_eliminated.base is base
+    # Fresh-allocation calls never alias the scratch.
+    third = fused_count_matches(planes, q_values, n_banks=2)
+    assert third.step1_eliminated.base is not base
+
+
+def test_scratch_grows_for_larger_shapes():
+    planes, q_values = build()
+    small = fused_count_matches(planes, q_values, n_banks=2,
+                                reuse_buffers=True)
+    big_planes, big_q = build(rows=16, width=8, seed=5)
+    big = fused_count_matches(
+        big_planes, np.repeat(big_q, 40, axis=0), n_banks=4,
+        reuse_buffers=True)
+    assert big.step1_eliminated.shape == (4, 480)
+    # Correctness after the regrowth, against fresh buffers.
+    ref = fused_count_matches(big_planes, np.repeat(big_q, 40, axis=0),
+                              n_banks=4)
+    np.testing.assert_array_equal(big.full_matches, ref.full_matches)
+    assert small.step1_eliminated.shape == (2, 12)
+
+
+def test_threads_get_distinct_scratch():
+    planes, q_values = build()
+    bases = {}
+
+    def worker(name):
+        counts = fused_count_matches(planes, q_values, n_banks=2,
+                                     reuse_buffers=True)
+        bases[name] = counts.step1_eliminated.base
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(3)]
+    worker("main")
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    ids = {id(b) for b in bases.values()}
+    assert len(ids) == 4  # one scratch arena per thread, none shared

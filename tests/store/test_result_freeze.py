@@ -1,0 +1,68 @@
+"""Frozen-snapshot semantics of ``QueryResult.freeze`` / LazyMatches.
+
+The serve path's consistency contract: a served result must be
+detached from the backend's live ``Match`` objects (which ``update()``
+mutates in place), while materializing its ``Match`` views only when
+somebody actually inspects them.
+"""
+
+from fecam.store.result import LazyMatches, Match, Query, QueryResult
+
+
+def live_matches():
+    return [Match(key="a", word="0101", priority=0.0, bank=0, row=0,
+                  payload={"tag": 1}, seq=0),
+            Match(key="b", word="1111", priority=1.0, bank=1, row=3,
+                  payload=None, seq=1)]
+
+
+def test_freeze_detaches_from_live_matches():
+    live = live_matches()
+    result = QueryResult(query=Query(bits="0101"), matches=live,
+                         energy=2.0, latency=0.5)
+    frozen = result.freeze()
+    # A later in-place write (what update() does) must not leak in.
+    live[0].word = "XXXX"
+    live[0].payload = {"tag": 99}
+    assert frozen.matches[0].word == "0101"
+    assert frozen.matches[0].payload == {"tag": 1}
+    assert frozen.matches[0] is not live[0]
+    # Scalars and the query ride along unchanged.
+    assert frozen.energy == 2.0
+    assert frozen.latency == 0.5
+    assert frozen.query == result.query
+    assert frozen.cached is result.cached
+
+
+def test_lazy_matches_sequence_protocol():
+    lazy = LazyMatches.snapshot(live_matches())
+    assert len(lazy) == 2
+    assert lazy[0].key == "a"
+    assert lazy[-1].key == "b"
+    assert [m.key for m in lazy] == ["a", "b"]
+    assert lazy == live_matches()          # element-wise dataclass eq
+    assert live_matches() == list(lazy)
+    assert lazy != [live_matches()[0]]
+    assert lazy[0:1] == [lazy[0]]
+
+
+def test_materialization_is_lazy_and_stable():
+    lazy = LazyMatches.snapshot(live_matches())
+    assert lazy._items is None             # nothing built yet
+    first = lazy[0]
+    assert lazy._items is not None         # built once on first access
+    assert lazy[0] is first                # identity stable thereafter
+    assert list(lazy)[0] is first
+
+
+def test_result_convenience_accessors_work_frozen():
+    result = QueryResult(query=Query(bits="0101"),
+                         matches=live_matches()).freeze()
+    assert result.best.key == "a"
+    assert result.match_keys == ["a", "b"]
+    assert len(result) == 2
+    assert bool(result)                    # zero-match results stay truthy
+    empty = QueryResult(query=Query(bits="0101")).freeze()
+    assert empty.best is None
+    assert len(empty) == 0
+    assert bool(empty)
