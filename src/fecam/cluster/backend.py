@@ -1,0 +1,536 @@
+"""`ClusterBackend` — the store backend that fans reads out to worker
+processes over one shared-memory arena.
+
+Topology: this process is the **single writer**.  It owns a
+:class:`~fecam.cluster.shm.SharedArena`, runs a normal
+:class:`~fecam.store.FabricBackend` whose planes live *in* that arena
+(so every mutation lands directly in shared memory), and wraps each
+mutating op in a seqlock publish window::
+
+    seq -> odd                      # readers start spinning/retrying
+    mutate planes in place          # the inner fabric writes
+    write placement metadata blob
+    seq -> even, generation += 1    # the new state is published
+
+N **reader** worker processes each attach a
+:class:`~fecam.cluster.replica.Replica` and serve ``search_batch``
+zero-copy; a :class:`~fecam.cluster.ring.HashRing` routes each query to
+its owning worker.  Failure policy: a dead worker is respawned (or,
+with ``respawn=False``, its ring arc rehashes to survivors) and its
+queries retried; a dead writer (fault-injected via the
+``cluster.publish.*`` crash sites) fails all further writes while
+workers keep serving the last published generation.
+
+Lifecycle hygiene: :meth:`close` stops the workers and unlinks the
+arena files, and a ``weakref.finalize`` guard does the same if the
+backend is dropped without closing — no orphaned ``/dev/shm`` segments
+either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+import weakref
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Deque, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .. import errors as _errors
+from ..durable.crash import CrashPoint
+from ..durable.crash import fire as _fire_crash
+from ..errors import (ClusterError, ClusterWriterFailed, OperationError,
+                      SimulatedCrash, WorkerUnavailable)
+from ..store.backend import SearchBackend
+from ..store.config import StoreConfig
+from ..store.fabric import FabricBackend
+from ..store.result import Match, Query, QueryResult
+from .replica import WireMatch
+from .ring import HashRing
+from .shm import SharedArena
+from .worker import WorkerSpec, worker_main
+
+__all__ = ["ClusterBackend", "resolve_start_method"]
+
+#: Per-query scatter row: (generation, wire match rows, energy, latency).
+Scattered = Tuple[int, List[WireMatch], float, float]
+
+_SEND_RETRIES = 3
+
+
+def resolve_start_method(requested: Optional[str] = None) -> str:
+    """Worker start method: explicit arg > ``FECAM_CLUSTER_START`` env >
+    ``fork`` when the platform offers it (cheapest) > ``spawn``."""
+    method = requested or os.environ.get("FECAM_CLUSTER_START") or ""
+    available = multiprocessing.get_all_start_methods()
+    if method:
+        if method not in available:
+            raise OperationError(
+                f"start method {method!r} unavailable; one of {available}")
+        return method
+    return "fork" if "fork" in available else "spawn"
+
+
+def _map_worker_error(type_name: str, message: str) -> Exception:
+    """Rehydrate a worker-side exception by type name.
+
+    Unknown names degrade to :class:`ClusterError` — the worker stays a
+    black box, but typed errors (validation, seqlock timeout) cross the
+    process boundary intact.
+    """
+    cls = getattr(_errors, type_name, None)
+    if isinstance(cls, type) and issubclass(cls, Exception):
+        return cls(message)
+    return ClusterError(f"worker error {type_name}: {message}")
+
+
+class _WorkerHandle:
+    """Parent-side endpoint for one worker process.
+
+    Requests pipeline: ``request`` appends a future and sends under one
+    lock (so FIFO pairing holds across threads), a dedicated reader
+    thread drains responses in order.  Connection loss fails every
+    in-flight future with :class:`WorkerUnavailable`.
+    """
+
+    def __init__(self, spec: WorkerSpec, ctx) -> None:
+        self.spec = spec
+        self.worker_id = spec.worker_id
+        self.restarts = 0
+        self._ctx = ctx
+        self._lock = threading.Lock()
+        self._respawn_lock = threading.Lock()
+        self._pending: Deque[Future] = deque()
+        self._alive = False
+        self.process = None
+        self.conn = None
+        self._start()
+
+    def _start(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        self.process = self._ctx.Process(
+            target=worker_main, args=(self.spec, child_conn), daemon=True,
+            name=f"fecam-cluster-w{self.worker_id}")
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self._alive = True
+        reader = threading.Thread(
+            target=self._drain, args=(parent_conn,), daemon=True,
+            name=f"fecam-cluster-w{self.worker_id}-rx")
+        reader.start()
+
+    def _drain(self, conn) -> None:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError, ValueError, TypeError):
+                # EOFError/OSError: worker died or pipe closed.
+                # ValueError/TypeError: close() nulled the connection's
+                # handle under a blocked recv — same thing, racier.
+                break
+            with self._lock:
+                fut = self._pending.popleft() if self._pending else None
+            if fut is not None:
+                fut.set_result(msg)
+        with self._lock:
+            if conn is self.conn:
+                self._alive = False
+            orphans = list(self._pending)
+            self._pending.clear()
+        for fut in orphans:
+            fut.set_exception(WorkerUnavailable(
+                f"worker {self.worker_id} connection lost"))
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def request(self, msg: Tuple[Any, ...]) -> "Future[Tuple[Any, ...]]":
+        fut: Future = Future()
+        with self._lock:
+            if not self._alive:
+                raise WorkerUnavailable(
+                    f"worker {self.worker_id} is not running")
+            self._pending.append(fut)
+            try:
+                self.conn.send(msg)
+            except (BrokenPipeError, OSError):
+                self._pending.pop()
+                self._alive = False
+                raise WorkerUnavailable(
+                    f"worker {self.worker_id} pipe is broken") from None
+        return fut
+
+    def respawn(self) -> None:
+        """Replace a dead worker process (no-op if it is healthy)."""
+        with self._respawn_lock:
+            if self._alive and self.process is not None \
+                    and self.process.is_alive():
+                return
+            self.terminate()
+            self.restarts += 1
+            self._start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Graceful shutdown: ask, then insist."""
+        try:
+            fut = self.request(("stop",))
+            fut.result(timeout=timeout)
+        except Exception:
+            pass
+        self.terminate(timeout)
+
+    def terminate(self, timeout: float = 2.0) -> None:
+        with self._lock:
+            self._alive = False
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+        proc = self.process
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout)
+            if proc.is_alive():  # pragma: no cover - stuck child
+                proc.kill()
+                proc.join(timeout)
+
+
+def _finalize_cluster(arena: SharedArena,
+                      handles: Dict[int, _WorkerHandle]) -> None:
+    """GC/atexit guard: never leak processes or /dev/shm files."""
+    for handle in handles.values():
+        try:
+            handle.terminate(timeout=0.5)
+        except Exception:  # pragma: no cover - best effort teardown
+            pass
+    arena.unlink()
+
+
+class ClusterBackend(SearchBackend):
+    """Store backend serving reads from worker processes.
+
+    Satisfies the exact :class:`SearchBackend` contract — which is what
+    lets the cross-backend conformance battery run the *same* tests
+    over ``array`` / ``fabric`` / ``cluster`` and demand bit-identical
+    matches, energy, and counters.
+    """
+
+    name = "cluster"
+
+    def __init__(self, config: StoreConfig, *, workers: int = 2,
+                 start_method: Optional[str] = None,
+                 shm_dir: Optional[str] = None,
+                 read_timeout: float = 5.0,
+                 respawn: bool = True):
+        super().__init__(config)
+        if config.backend_kind != "fabric":
+            raise OperationError(
+                "ClusterBackend shards a fabric config; got "
+                f"{config.backend_kind!r}")
+        if workers < 1:
+            raise OperationError("a cluster needs at least one worker")
+        self.start_method = resolve_start_method(start_method)
+        self.read_timeout = read_timeout
+        self._respawn_workers = respawn
+        self._write_lock = threading.Lock()
+        self._writer_failed = False
+        self._generation = 0
+        #: Test seams: an armed CrashPoint models the writer dying at a
+        #: ``cluster.publish.*`` site; ``publish_hook`` (site -> None)
+        #: lets the torn-read tests stall mid-window.
+        self.crash_point: Optional[CrashPoint] = None
+        self.publish_hook = None
+        self.arena = SharedArena.create(
+            rows=config.banks * config.rows_per_bank, width=config.width,
+            base_dir=shm_dir)
+        self.inner = FabricBackend(config, arena=self.arena.planes())
+        # The sanitizer's duck-typed planes discovery looks for
+        # ``backend.fabric`` — expose the writer-side fabric under the
+        # same name so FECAM_SANITIZE=1 instruments shared planes too.
+        self.fabric = self.inner.fabric
+        ctx = multiprocessing.get_context(self.start_method)
+        self.ring = HashRing(range(workers))
+        self._handles: Dict[int, _WorkerHandle] = {}
+        for worker_id in range(workers):
+            spec = WorkerSpec(worker_id=worker_id,
+                              directory=self.arena.directory,
+                              config=config, read_timeout=read_timeout)
+            self._handles[worker_id] = _WorkerHandle(spec, ctx)
+        self._finalizer = weakref.finalize(
+            self, _finalize_cluster, self.arena, self._handles)
+        self._closed = False
+
+    # -- writer: seqlock publication ---------------------------------------------
+
+    def _fire(self, site: str) -> None:
+        hook = self.publish_hook
+        if hook is not None:
+            hook(site)
+        _fire_crash(self.crash_point, site)
+
+    def _placement_blob(self) -> bytes:
+        rows = [(m.key, m.word, m.priority, m.payload, m.seq, m.bank,
+                 m.row) for m in self.inner._matches.values()]
+        return pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _mutate(self, fn):
+        """Run one mutating op inside a publish window.
+
+        Three outcomes: success publishes ``generation + 1``; a
+        validation error (duplicate key, capacity, bad word — the inner
+        backend applies nothing) closes the window with the generation
+        untouched, so readers never notice; a simulated writer death
+        marks the writer failed — and if it struck *inside* the window
+        the seq word stays odd, which readers surface as a typed
+        timeout rather than a torn view.
+        """
+        if self._writer_failed:
+            raise ClusterWriterFailed(
+                "cluster writer has failed; reads continue from the "
+                "last published generation")
+        with self._write_lock:
+            try:
+                self._fire("cluster.publish.before")
+            except SimulatedCrash:
+                self._writer_failed = True
+                raise
+            self.arena.begin_publish()
+            try:
+                out = fn()
+                self._fire("cluster.publish.mid")
+                self.arena.write_meta(self._placement_blob())
+                self._generation += 1
+                self.arena.end_publish(generation=self._generation)
+            except SimulatedCrash:
+                self._writer_failed = True
+                raise
+            except BaseException:
+                self.arena.end_publish()
+                raise
+            try:
+                self._fire("cluster.publish.after")
+            except SimulatedCrash:
+                self._writer_failed = True
+                raise
+            return out
+
+    # -- content lifecycle (writer ops) ------------------------------------------
+
+    def insert(self, word: str, key: Hashable, priority: float,
+               payload: Any, seq: int) -> Match:
+        return self._mutate(
+            lambda: self.inner.insert(word, key, priority, payload, seq))
+
+    def insert_many(self, words: Sequence[str], keys: Sequence[Hashable],
+                    priorities: Sequence[float], payloads: Sequence[Any],
+                    seqs: Sequence[int]) -> List[Match]:
+        return self._mutate(
+            lambda: self.inner.insert_many(words, keys, priorities,
+                                           payloads, seqs))
+
+    def delete(self, key: Hashable) -> Match:
+        return self._mutate(lambda: self.inner.delete(key))
+
+    def update(self, key: Hashable, word: str,
+               payload: Any = None) -> Match:
+        return self._mutate(
+            lambda: self.inner.update(key, word, payload=payload))
+
+    def adopt_snapshot(self, planes_state, placements) -> None:
+        """Load a recovered arena + placements wholesale (one window).
+
+        The durable-recovery seam: ``recover()`` rebuilds a store, its
+        backend's arena serializes to ``planes_state``/``placements``,
+        and this publishes that exact state into the shared arena so
+        every worker observes post-recovery content.
+        """
+        def load():
+            value, care, valid = planes_state
+            self.inner.fabric.arena.load(value, care, valid)
+            for bank in self.inner.fabric.banks:
+                bank.sync_free_rows()
+            self.inner._adopt_placements(placements, write=False)
+        self._mutate(load)
+
+    @classmethod
+    def from_store(cls, store, **kwargs) -> "ClusterBackend":
+        """Build a cluster seeded with an existing fabric store's state
+        (e.g. the store :func:`fecam.durable.recover` just rebuilt)."""
+        src = store.backend
+        if not isinstance(src, FabricBackend):
+            raise OperationError(
+                "from_store needs a fabric-backed store to adopt")
+        arena = src.fabric.arena
+        backend = cls(store.config, **kwargs)
+        placements = [(m.key, m.word, m.priority, m.payload, m.seq,
+                       m.bank, m.row) for m in src._matches.values()]
+        backend.adopt_snapshot(
+            (arena.value.copy(), arena.care.copy(), arena.valid.copy()),
+            placements)
+        return backend
+
+    # -- reads (writer-side bookkeeping) -----------------------------------------
+
+    def get(self, key: Hashable) -> Match:
+        return self.inner.get(key)
+
+    def entries(self) -> List[Match]:
+        return self.inner.entries()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.inner
+
+    @property
+    def capacity(self) -> int:
+        return self.inner.capacity
+
+    @property
+    def occupancy(self) -> int:
+        return self.inner.occupancy
+
+    @property
+    def energy_total(self) -> float:
+        """Writer-side write energy plus search energy the workers
+        actually spent (collected over the stats RPC)."""
+        total = self.inner.energy_total
+        for telemetry in self.worker_telemetry():
+            total += telemetry.get("energy", 0.0)
+        return total
+
+    @property
+    def generation_published(self) -> int:
+        return self.arena.generation
+
+    @property
+    def writer_failed(self) -> bool:
+        return self._writer_failed
+
+    @property
+    def workers(self) -> int:
+        return len(self._handles)
+
+    # -- search fan-out ----------------------------------------------------------
+
+    def _handle_failure(self, worker_id: int) -> None:
+        """Dead worker: respawn in place, or rehash its arc away."""
+        if self._closed:
+            raise WorkerUnavailable("cluster backend is closed")
+        if self._respawn_workers:
+            self._handles[worker_id].respawn()
+        else:
+            self.ring.remove(worker_id)
+
+    def scatter_search(self, queries: Sequence[str],
+                       mask: Optional[str] = None) -> List[Scattered]:
+        """Route every query to its worker; returns per-query
+        ``(generation, wire_matches, energy, latency)`` rows.
+
+        One round sends each worker its arc of the batch and pairs the
+        responses; queries stranded by a death are re-partitioned (over
+        the respawned worker, or the shrunken ring) and retried.
+        """
+        queries = list(queries)
+        out: List[Optional[Scattered]] = [None] * len(queries)
+        remaining = list(range(len(queries)))
+        for attempt in range(_SEND_RETRIES + 1):
+            if not remaining:
+                break
+            if not self.ring.nodes:
+                raise WorkerUnavailable("no cluster workers remain")
+            groups = self.ring.partition([queries[i] for i in remaining])
+            in_flight = []
+            stranded: List[int] = []
+            for worker_id, positions in groups:
+                indices = [remaining[p] for p in positions]
+                try:
+                    fut = self._handles[worker_id].request(
+                        ("search", [queries[i] for i in indices], mask))
+                except WorkerUnavailable:
+                    self._handle_failure(worker_id)
+                    stranded.extend(indices)
+                    continue
+                in_flight.append((worker_id, indices, fut))
+            for worker_id, indices, fut in in_flight:
+                try:
+                    msg = fut.result(timeout=self.read_timeout + 10.0)
+                except WorkerUnavailable:
+                    self._handle_failure(worker_id)
+                    stranded.extend(indices)
+                    continue
+                if msg[0] == "error":
+                    raise _map_worker_error(msg[1], msg[2])
+                _, generation, matches, energies, latencies = msg
+                for j, i in enumerate(indices):
+                    out[i] = (generation, matches[j], energies[j],
+                              latencies[j])
+            remaining = stranded
+        if remaining:
+            raise WorkerUnavailable(
+                f"{len(remaining)} queries undeliverable after "
+                f"{_SEND_RETRIES + 1} scatter rounds")
+        return out  # type: ignore[return-value]
+
+    def search_batch(self, queries: Sequence[str],
+                     mask: Optional[str] = None) -> List[QueryResult]:
+        queries = list(queries)
+        if not queries:
+            return []
+        scattered = self.scatter_search(queries, mask)
+        results = []
+        for bits, (_, rows, energy, latency) in zip(queries, scattered):
+            matches = [Match(key=k, word=w, priority=p, bank=b, row=r,
+                             payload=pl, seq=s)
+                       for k, w, p, b, r, pl, s in rows]
+            results.append(QueryResult(query=Query(bits=bits, mask=mask),
+                                       matches=matches, energy=energy,
+                                       latency=latency))
+        return results
+
+    # -- worker telemetry --------------------------------------------------------
+
+    def worker_telemetry(self) -> List[Dict[str, Any]]:
+        """Best-effort stats RPC to every worker (dead ones skipped)."""
+        futures = []
+        for worker_id, handle in self._handles.items():
+            try:
+                futures.append((worker_id, handle,
+                                handle.request(("stats",))))
+            except WorkerUnavailable:
+                continue
+        out = []
+        for worker_id, handle, fut in futures:
+            try:
+                msg = fut.result(timeout=self.read_timeout + 10.0)
+            except Exception:
+                continue
+            if msg[0] != "ok":
+                continue
+            telemetry = dict(msg[1])
+            telemetry["worker_id"] = worker_id
+            telemetry["restarts"] = handle.restarts
+            telemetry["alive"] = handle.alive
+            out.append(telemetry)
+        return out
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop workers and unlink the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        for handle in self._handles.values():
+            handle.stop()
+        self.arena.unlink()
+
+    def __repr__(self) -> str:
+        return (f"<ClusterBackend {len(self._handles)} workers over "
+                f"{self.config.banks}x{self.config.rows_per_bank}x"
+                f"{self.width}, gen {self.arena.generation}, "
+                f"{self.start_method}>")

@@ -1,0 +1,130 @@
+"""Reader-side fabric replica over an attached shared arena.
+
+A worker process does not rebuild content — it *attaches*: the replica
+wraps a real :class:`~fecam.fabric.TcamFabric` whose arena is
+constructed over the shared mapping, so the exact fused batch kernel,
+per-bank energy constants, and priority-encoder merge of the
+single-process path run against the writer's bytes.  Bit-identical
+results are therefore a structural property, not a reimplementation to
+keep in sync — the cross-process conformance battery proves it.
+
+What the writer cannot share through the planes — the placement table
+mapping arena rows back to entries — rides in the arena's metadata
+blob and is re-read (memoized by generation) whenever the published
+generation moves.  Every request runs under the arena seqlock:
+one consistent window yields one ``(generation, results)`` pair, torn
+windows bust the replica's derived-plane memos and retry.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..errors import OperationError
+from ..fabric.fabric import FabricEntry, TcamFabric
+from ..fabric.shard import HashSharding
+from ..store.config import StoreConfig
+from .shm import SharedArena
+
+__all__ = ["Replica"]
+
+#: Wire row for one match: mirrors Match/FabricEntry field content.
+WireMatch = Tuple[Hashable, str, float, int, int, Any, int]
+
+
+class Replica:
+    """One process's read-only view of the cluster fabric."""
+
+    def __init__(self, arena: SharedArena, config: StoreConfig, *,
+                 read_timeout: float = 5.0):
+        if config.backend_kind != "fabric":
+            raise OperationError(
+                f"cluster replicas need a fabric config, got "
+                f"{config.backend_kind!r}")
+        sharding = (HashSharding(config.banks)
+                    if config.placement == "hash" else None)
+        self.arena = arena
+        self.read_timeout = read_timeout
+        self.fabric = TcamFabric(
+            banks=config.banks, rows_per_bank=config.rows_per_bank,
+            width=config.width, design=config.design, sharding=sharding,
+            energy_model=config.resolve_energy_model(), cache_size=0,
+            arena=arena.planes())
+        self._meta_generation = -1
+
+    # -- refresh -----------------------------------------------------------------
+
+    def _refresh(self) -> int:
+        """Sync entry metadata + memo keys to the published generation."""
+        generation = self.arena.generation
+        if generation != self._meta_generation:
+            blob = self.arena.read_meta()
+            placements = pickle.loads(blob) if blob else []
+            fabric = self.fabric
+            rows_per_bank = fabric.rows_per_bank
+            row_entry: List[List[Optional[FabricEntry]]] = [
+                [None] * rows_per_bank for _ in range(fabric.num_banks)]
+            entries: Dict[Hashable, FabricEntry] = {}
+            for key, word, priority, payload, seq, bank, row in placements:
+                entry = FabricEntry(key=key, word=word, priority=priority,
+                                    bank=bank, row=row, payload=payload,
+                                    seq=seq)
+                entries[key] = entry
+                row_entry[bank][row] = entry
+            fabric._entries = entries
+            fabric._row_entry = row_entry
+            # Planes content changed under us: move the local planes
+            # generation to the published one so derived-plane and
+            # step-1-index memos re-key (they compare generations).
+            fabric.arena.generation = generation
+            self._meta_generation = generation
+        return generation
+
+    def _bust(self) -> None:
+        """Discard anything cached during a torn window."""
+        planes = self.fabric.arena
+        planes._derived = None
+        planes._index = None
+        self._meta_generation = -1
+
+    # -- serving -----------------------------------------------------------------
+
+    def serve_search(self, queries: Sequence[str],
+                     mask: Optional[str] = None
+                     ) -> Tuple[int, List[List[WireMatch]],
+                                List[float], List[float]]:
+        """One consistent search: ``(generation, matches, energies,
+        latencies)`` with all three lists aligned to ``queries``.
+
+        The whole batch runs inside a single seqlock window, so every
+        query of the response was answered at exactly the tagged
+        generation — the invariant the cross-process snapshot-isolation
+        stress test replays against.
+        """
+        def attempt():
+            generation = self._refresh()
+            raw = self.fabric.search_batch(list(queries), mask,
+                                           use_cache=False)
+            return generation, raw
+        generation, raw = self.arena.read_consistent(
+            attempt, timeout=self.read_timeout, on_retry=self._bust)
+        matches = [
+            [(e.key, e.word, e.priority, e.bank, e.row, e.payload, e.seq)
+             for e in r.matches] for r in raw]
+        return (generation, matches,
+                [r.energy for r in raw], [r.latency for r in raw])
+
+    def telemetry(self) -> Dict[str, Any]:
+        fabric = self.fabric
+        return {
+            "pid": os.getpid(),
+            "generation": self.arena.generation,
+            "searches": fabric._searches,
+            "energy": sum(b.cam.energy_spent for b in fabric.banks),
+            "rows_examined": sum(fabric._rows_examined),
+            "step1_eliminated": sum(fabric._step1_eliminated),
+            "worst_latency": fabric._worst_latency,
+            "occupancy": len(fabric._entries),
+        }

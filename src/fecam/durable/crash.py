@@ -26,6 +26,10 @@ CRASH_SITES = (
     "reshard.build",       # mid background build, old backend still live
     "reshard.commit",      # new backend built, reshard record not logged
     "reshard.after",       # swap complete and logged
+    # Seqlock publication sites consulted by fecam.cluster's writer:
+    "cluster.publish.before",  # nothing applied, seq still even
+    "cluster.publish.mid",     # seq odd, mutation half-applied (torn)
+    "cluster.publish.after",   # seq even again, generation published
 )
 
 

@@ -71,6 +71,29 @@ class ServiceOverloaded(ServiceError):
     """
 
 
+class ClusterError(ServiceError):
+    """Base class for multi-process (:mod:`fecam.cluster`) failures."""
+
+
+class ClusterWriterFailed(ClusterError):
+    """Raised when the cluster's single writer is gone.
+
+    Mutations fail fast from then on; workers keep serving reads from
+    the last fully published arena generation (the degrade-gracefully
+    half of the seqlock contract).
+    """
+
+
+class WorkerUnavailable(ClusterError):
+    """Raised when a cluster worker cannot answer.
+
+    Either its process died and could not be respawned, or its seqlock
+    read spun past the timeout because a publish window never closed
+    (writer died mid-mutation — the one state where reads must fail
+    rather than return a torn view).
+    """
+
+
 class DurabilityError(OperationError):
     """Raised by the :mod:`fecam.durable` persistence layer.
 

@@ -140,7 +140,8 @@ class TcamFabric:
                  width: int = 64, design: DesignKind = DesignKind.DG_1T5, *,
                  sharding: Optional[ShardPolicy] = None,
                  energy_model: Optional[EnergyModel] = None,
-                 cache_size: int = 0):
+                 cache_size: int = 0,
+                 arena: Optional[TernaryPlanes] = None):
         if banks < 1:
             raise OperationError("a fabric needs at least one bank")
         self.design = design
@@ -154,7 +155,20 @@ class TcamFabric:
         # [b * rows_per_bank, (b + 1) * rows_per_bank)), so the fused
         # batch kernel evaluates every bank in a single pass and the
         # arena's derived-plane cache survives until *any* bank writes.
-        self.arena = TernaryPlanes(banks * rows_per_bank, width)
+        # An injected ``arena`` (built with :meth:`TernaryPlanes.over`
+        # atop shared memory) lets `fecam.cluster` point many processes
+        # at one set of planes; it must match the fabric geometry.
+        if arena is not None:
+            if arena.rows != banks * rows_per_bank or arena.width != width:
+                raise OperationError(
+                    f"injected arena is {arena.rows} rows x width "
+                    f"{arena.width}, fabric needs {banks * rows_per_bank} "
+                    f"rows x width {width}")
+            if arena.is_view:
+                raise OperationError(
+                    "injected arena must own its rows, not be a view")
+        self.arena = arena if arena is not None \
+            else TernaryPlanes(banks * rows_per_bank, width)
         self.banks: List[CamBank] = [
             CamBank(i, rows_per_bank, width, design, energy_model=model,
                     planes=self.arena.view(i * rows_per_bank,

@@ -26,7 +26,7 @@ from .registry import MetricsRegistry
 
 __all__ = ["instrument", "instrument_service", "instrument_store",
            "instrument_fabric", "instrument_cam", "instrument_durable",
-           "BATCH_SIZE_BUCKETS"]
+           "instrument_cluster", "BATCH_SIZE_BUCKETS"]
 
 #: Buckets for the mirrored batch-size histogram: powers of two up to
 #: the largest max_batch anyone realistically configures.
@@ -334,6 +334,81 @@ def instrument_durable(store, registry: MetricsRegistry) -> Unregister:
     return unregister
 
 
+def instrument_cluster(service, registry: MetricsRegistry) -> Unregister:
+    """Mirror a :class:`~fecam.cluster.ClusterService`'s per-worker
+    telemetry, labeled by ``worker``.  The front-door ServiceStats are
+    covered by :func:`instrument_service` (the cluster service keeps
+    the same stats shape on purpose); this adapter adds the replica
+    side: each worker's search counters, published generation, and
+    liveness, gathered over the stats RPC at collect time.  Dead
+    workers keep their last mirrored values and report ``alive`` 0."""
+    g_alive = registry.gauge(
+        "fecam_cluster_worker_alive",
+        "1 while the worker process is serving, 0 once it has died.",
+        labelnames=("worker",))
+    c_restarts = registry.counter(
+        "fecam_cluster_worker_restarts_total",
+        "Times the worker was respawned after dying.",
+        labelnames=("worker",))
+    g_generation = registry.gauge(
+        "fecam_cluster_worker_generation",
+        "Published arena generation the worker last observed.",
+        labelnames=("worker",))
+    c_searches = registry.counter(
+        "fecam_cluster_worker_searches_total",
+        "Queries the worker served from its arena view.",
+        labelnames=("worker",))
+    c_energy = registry.counter(
+        "fecam_cluster_worker_energy_joules_total",
+        "Joules the worker's banks charged for searches.",
+        labelnames=("worker",))
+    c_rows_examined = registry.counter(
+        "fecam_cluster_worker_rows_examined_total",
+        "Rows the worker examined across all searches.",
+        labelnames=("worker",))
+    c_step1_eliminated = registry.counter(
+        "fecam_cluster_worker_step1_eliminated_total",
+        "Rows the worker resolved by step 1 (early termination).",
+        labelnames=("worker",))
+    g_worst_latency = registry.gauge(
+        "fecam_cluster_worker_worst_latency_seconds",
+        "Worst modeled search latency the worker observed.",
+        labelnames=("worker",))
+    g_workers = registry.gauge(
+        "fecam_cluster_workers",
+        "Worker processes currently alive.")
+    g_writer_ok = registry.gauge(
+        "fecam_cluster_writer_ok",
+        "1 while the writer accepts mutations, 0 after writer failure.")
+
+    def hook() -> None:
+        telemetry = service.worker_stats()
+        alive = 0
+        for row in telemetry:
+            label = str(row["worker_id"])
+            is_alive = bool(row.get("alive"))
+            alive += int(is_alive)
+            g_alive.labels(worker=label).set(1.0 if is_alive else 0.0)
+            c_restarts.labels(worker=label).set_total(
+                row.get("restarts", 0))
+            g_generation.labels(worker=label).set(
+                row.get("generation", 0))
+            c_searches.labels(worker=label).set_total(
+                row.get("searches", 0))
+            c_energy.labels(worker=label).set_total(
+                row.get("energy", 0.0))
+            c_rows_examined.labels(worker=label).set_total(
+                row.get("rows_examined", 0))
+            c_step1_eliminated.labels(worker=label).set_total(
+                row.get("step1_eliminated", 0))
+            g_worst_latency.labels(worker=label).set(
+                row.get("worst_latency", 0.0))
+        g_workers.set(alive)
+        g_writer_ok.set(0.0 if service.backend.writer_failed else 1.0)
+
+    return registry.on_collect(hook)
+
+
 def instrument(obj, registry: MetricsRegistry) -> Unregister:
     """Wire a whole serving object graph into ``registry``.
 
@@ -344,6 +419,8 @@ def instrument(obj, registry: MetricsRegistry) -> Unregister:
     """
     # Imports are local so `fecam.obs` never circularly imports the
     # layers it observes (they import `fecam.obs.trace` for spans).
+    from ..cluster.backend import ClusterBackend
+    from ..cluster.service import ClusterService
     from ..durable.store import DurableCamStore
     from ..functional.engine import TernaryCAM
     from ..fabric.fabric import TcamFabric
@@ -356,12 +433,23 @@ def instrument(obj, registry: MetricsRegistry) -> Unregister:
     if isinstance(obj, SearchService):
         unregisters.append(instrument_service(obj, registry))
         unregisters.append(instrument(obj.store, registry))
+    elif isinstance(obj, ClusterService):
+        # Same ServiceStats shape as SearchService, plus the per-worker
+        # replica telemetry behind the cluster's stats RPC.
+        unregisters.append(instrument_service(obj, registry))
+        unregisters.append(instrument_cluster(obj, registry))
+        unregisters.append(instrument(obj.store, registry))
     elif isinstance(obj, CamStore):
         unregisters.append(instrument_store(obj, registry))
         if isinstance(obj, DurableCamStore):
             unregisters.append(instrument_durable(obj, registry))
         backend = obj.backend
-        if isinstance(backend, FabricBackend):
+        if isinstance(backend, ClusterBackend):
+            # The writer-side fabric is the source of truth for content
+            # and write energy; worker search counters come through
+            # instrument_cluster's per-worker series.
+            unregisters.append(instrument(backend.inner.fabric, registry))
+        elif isinstance(backend, FabricBackend):
             unregisters.append(instrument(backend.fabric, registry))
         elif isinstance(backend, ArrayBackend):
             unregisters.append(instrument_cam(backend.cam, registry))
@@ -375,7 +463,8 @@ def instrument(obj, registry: MetricsRegistry) -> Unregister:
     else:
         raise TypeError(
             f"cannot instrument {type(obj).__name__}; expected a "
-            f"SearchService, CamStore, TcamFabric, or TernaryCAM")
+            f"SearchService, ClusterService, CamStore, TcamFabric, "
+            f"or TernaryCAM")
 
     def unregister_all() -> None:
         for unregister in unregisters:

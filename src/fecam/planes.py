@@ -227,6 +227,44 @@ class TernaryPlanes:
         self._derived: Optional[DerivedPlanes] = None
         self._index: Optional[Tuple[int, Optional[Step1Index]]] = None
 
+    @classmethod
+    def over(cls, value: np.ndarray, care: np.ndarray,
+             valid: np.ndarray, *, width: int) -> "TernaryPlanes":
+        """Construct planes *over* caller-owned buffers (zero-copy).
+
+        The arena-allocation seam for `fecam.cluster`: the caller maps
+        shared memory (mmap), carves three ndarray windows out of it,
+        and hands them here — every mutation through the returned
+        planes writes straight into the shared mapping, and reader
+        processes attach their own instances over the same bytes.
+
+        The buffers must already have the canonical layout:
+        ``value``/``care`` of shape ``(rows, n_chunks_for(width))``
+        dtype uint64, ``valid`` of shape ``(rows,)`` dtype bool.
+        Ownership stays with the caller (nothing here unmaps or frees).
+        """
+        value = np.asarray(value)
+        care = np.asarray(care)
+        valid = np.asarray(valid)
+        if value.ndim != 2 or value.dtype != np.uint64:
+            raise OperationError(
+                "value plane must be a (rows, n_chunks) uint64 array, "
+                f"got shape {value.shape} dtype {value.dtype}")
+        if care.shape != value.shape or care.dtype != np.uint64:
+            raise OperationError(
+                f"care plane must match value plane {value.shape} uint64, "
+                f"got shape {care.shape} dtype {care.dtype}")
+        rows, chunks = value.shape
+        if valid.shape != (rows,) or valid.dtype != np.bool_:
+            raise OperationError(
+                f"valid plane must be a ({rows},) bool array, "
+                f"got shape {valid.shape} dtype {valid.dtype}")
+        if chunks != n_chunks_for(width):
+            raise OperationError(
+                f"width {width} needs {n_chunks_for(width)} chunks per "
+                f"row, buffers have {chunks}")
+        return cls(rows, width, _storage=(value, care, valid))
+
     @property
     def even_mask(self) -> np.ndarray:
         return step_masks(self.width)[0]

@@ -16,6 +16,7 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence
 from ..errors import OperationError
 from ..fabric.fabric import FabricEntry, TcamFabric
 from ..fabric.shard import HashSharding
+from ..planes import TernaryPlanes
 from .backend import SearchBackend
 from .config import StoreConfig
 from .result import Match, Query, QueryResult
@@ -28,17 +29,22 @@ class FabricBackend(SearchBackend):
 
     name = "fabric"
 
-    def __init__(self, config: StoreConfig):
+    def __init__(self, config: StoreConfig, *,
+                 arena: Optional[TernaryPlanes] = None):
         super().__init__(config)
         if config.backend_kind != "fabric":
             raise OperationError(
                 f"config resolves to the {config.backend_kind!r} backend")
         sharding = (HashSharding(config.banks)
                     if config.placement == "hash" else None)
+        # ``arena`` threads the planes-over-foreign-buffers seam through
+        # to the fabric so `fecam.cluster` can build the writer-side
+        # backend directly atop a shared-memory mapping.
         self.fabric = TcamFabric(
             banks=config.banks, rows_per_bank=config.rows_per_bank,
             width=config.width, design=config.design, sharding=sharding,
-            energy_model=config.resolve_energy_model(), cache_size=0)
+            energy_model=config.resolve_energy_model(), cache_size=0,
+            arena=arena)
         self._matches: Dict[Hashable, Match] = {}
 
     # -- durable restore ----------------------------------------------------------
@@ -56,8 +62,9 @@ class FabricBackend(SearchBackend):
         self.fabric.adopt_entries(entries, write=write)
 
     @classmethod
-    def from_placements(cls, config: StoreConfig,
-                        placements) -> "FabricBackend":
+    def from_placements(cls, config: StoreConfig, placements, *,
+                        arena: Optional[TernaryPlanes] = None
+                        ) -> "FabricBackend":
         """Rebuild a backend by writing words at recorded bank/row slots.
 
         ``placements`` rows of ``(key, word, priority, payload, seq,
@@ -65,18 +72,21 @@ class FabricBackend(SearchBackend):
         :meth:`TcamFabric.adopt_entries`, so replay reproduces the live
         placement bit-for-bit instead of re-running the allocator.
         """
-        backend = cls(config)
+        backend = cls(config, arena=arena)
         backend._adopt_placements(placements, write=True)
         return backend
 
     @classmethod
     def from_snapshot(cls, config: StoreConfig, planes_state,
-                      placements) -> "FabricBackend":
+                      placements, *,
+                      arena: Optional[TernaryPlanes] = None
+                      ) -> "FabricBackend":
         """Rebuild a backend from a serialized arena plus the entry map
         (the snapshot-restore path: the contiguous arena loads
         wholesale, then allocators and key maps are rebuilt around
-        it)."""
-        backend = cls(config)
+        it).  With ``arena=`` the load lands in caller-owned (shared)
+        buffers — how a recovered store's content enters a cluster."""
+        backend = cls(config, arena=arena)
         value, care, valid = planes_state
         backend.fabric.arena.load(value, care, valid)
         backend._adopt_placements(placements, write=False)

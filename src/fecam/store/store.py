@@ -102,7 +102,7 @@ class CamStore:
             config = config.resolved()
             backend = make_backend(config)
         self.config = config
-        self.backend = backend
+        self._backend = backend
         self._cache: Optional[QueryCache] = (
             QueryCache(config.cache_size) if config.cache_size else None)
         self._generation = 0
@@ -117,6 +117,17 @@ class CamStore:
         self._worst_latency = 0.0
 
     # -- layout ------------------------------------------------------------------
+
+    @property
+    @lock_free
+    def backend(self) -> SearchBackend:
+        """The active backend — one atomic reference.  Reshard swaps it
+        under the write lock; reading the reference itself needs none."""
+        return self._backend
+
+    @backend.setter
+    def backend(self, value: SearchBackend) -> None:
+        self._backend = value
 
     @property
     @lock_free

@@ -1,0 +1,26 @@
+"""Shared helpers for the cluster suite (imported by test modules;
+fixtures live in ``conftest.py``).
+
+Every end-to-end test shards the same small fabric config with an
+explicit energy model (no circuit evaluation in unit tests) and no
+query cache — bit-identity checks compare energy/latency, and cache
+hits legitimately report zero cost.
+"""
+
+from fecam.designs import DesignKind
+from fecam.functional import EnergyModel
+from fecam.store import StoreConfig
+
+WIDTH = 12
+ROWS = 64
+
+
+def fast_model(width=WIDTH):
+    return EnergyModel(DesignKind.DG_1T5, width, e_1step_per_bit=0.8e-15,
+                       e_2step_per_bit=1.3e-15, latency_1step=0.7e-9,
+                       latency_2step=2.3e-9, write_energy_per_cell=0.4e-15)
+
+
+def make_config(width=WIDTH, rows=ROWS, banks=2, backend="fabric", **kw):
+    return StoreConfig(backend=backend, width=width, rows=rows,
+                       banks=banks, energy_model=fast_model(width), **kw)

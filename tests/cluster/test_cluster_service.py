@@ -1,0 +1,277 @@
+"""ClusterService end-to-end: parity, routing, failure modes, telemetry.
+
+Real worker processes throughout — every test spawns (or forks) the
+pool, so this file is also the start-method compatibility gate CI runs
+under both ``fork`` and ``spawn``.
+"""
+
+import os
+import signal
+
+import pytest
+
+from fecam.cluster import ClusterBackend, ClusterService
+from fecam.durable.crash import CrashPoint
+from fecam.errors import (ClusterWriterFailed, OperationError, ServiceClosed,
+                          SimulatedCrash, TernaryValueError,
+                          WorkerUnavailable)
+from fecam.obs import MetricsRegistry
+from fecam.obs.adapters import instrument
+from fecam.store import CamStore, Query
+
+from cluster_utils import make_config
+
+WORDS = ["1010XXXXXXXX", "10101111XXXX", "0101XXXXXXXX", "111100001111",
+         "000011110000", "XXXXXXXXXXXX"]
+KEYS = list("abcdef")
+PROBES = ["101011111111", "010111110000", "111100001111", "000000000000"]
+
+
+@pytest.fixture
+def service(cluster_config):
+    with ClusterService(config=cluster_config, workers=2) as service:
+        yield service
+
+
+def kill_worker(service, worker_id=0):
+    handle = service.backend._handles[worker_id]
+    pid = handle.process.pid
+    os.kill(pid, signal.SIGKILL)
+    handle.process.join(5)
+    return pid
+
+
+class TestServingParity:
+    def test_results_match_a_plain_store_bit_for_bit(
+            self, service, cluster_config):
+        reference = CamStore(make_config())
+        reference.insert_many(WORDS, keys=KEYS)
+        service.insert_many(WORDS, keys=KEYS)
+        for probe in PROBES:
+            served = service.search(probe)
+            expected = reference.search(probe, use_cache=False)
+            assert served.match_keys == expected.match_keys
+            assert [(m.bank, m.row) for m in served.result.matches] == \
+                [(m.bank, m.row) for m in expected.matches]
+            assert served.result.energy == expected.energy
+            assert served.result.latency == expected.latency
+
+    def test_search_many_matches_per_request_door(self, service):
+        service.insert_many(WORDS, keys=KEYS)
+        burst = service.search_many(PROBES)
+        singles = [service.search(p) for p in PROBES]
+        assert [r.match_keys for r in burst] == \
+            [r.match_keys for r in singles]
+        assert all(r.generation == singles[0].generation for r in burst)
+
+    def test_generation_rides_every_result(self, service):
+        service.insert(WORDS[0], key="a")
+        first = service.search(PROBES[0])
+        service.insert(WORDS[1], key="b")
+        second = service.search(PROBES[0])
+        assert second.generation == first.generation + 1
+        assert second.generation == service.backend.generation_published
+        assert second.generation == service.store.generation
+
+    def test_masked_and_query_object_paths(self, service):
+        service.insert("111100001111", key="m")
+        assert service.search("111100000000").match_keys == []
+        masked = service.search("111100000000",
+                                mask="111111110000")
+        assert masked.match_keys == ["m"]
+        via_query = service.search(Query("111100000000",
+                                         mask="111111110000"))
+        assert via_query.match_keys == ["m"]
+        burst = service.search_many(
+            [Query("111100000000", mask="111111110000")])
+        assert burst[0].match_keys == ["m"]
+
+    def test_validation_errors_cross_the_process_boundary(self, service):
+        with pytest.raises(TernaryValueError):
+            service.search("10Z0")
+        service.insert(WORDS[0], key="a")  # the pool still serves
+        assert service.search(PROBES[0]).match_keys == ["a"]
+
+    def test_submit_returns_future(self, service):
+        service.insert(WORDS[0], key="a")
+        futures = [service.submit(PROBES[0]) for _ in range(8)]
+        for future in futures:
+            assert future.result(timeout=10).match_keys == ["a"]
+
+    def test_failed_validation_publishes_nothing(self, service):
+        service.insert(WORDS[0], key="a")
+        generation = service.backend.generation_published
+        with pytest.raises(OperationError):
+            service.insert(WORDS[1], key="a")  # duplicate key
+        assert service.backend.generation_published == generation
+        assert service.backend.arena.seq % 2 == 0  # window closed
+        assert service.search(PROBES[0]).match_keys == ["a"]
+
+
+class TestWorkerDeath:
+    def test_killed_worker_respawns_transparently(self, service):
+        service.insert_many(WORDS, keys=KEYS)
+        before = service.search_many(PROBES)
+        old_pid = kill_worker(service, 0)
+        after = service.search_many(PROBES)
+        assert [r.match_keys for r in after] == \
+            [r.match_keys for r in before]
+        stats = {t["worker_id"]: t for t in service.worker_stats()}
+        assert stats[0]["restarts"] == 1 and stats[0]["alive"]
+        assert stats[0]["pid"] != old_pid
+        assert stats[1]["restarts"] == 0
+
+    def test_respawn_false_rehashes_to_survivors(self, cluster_config):
+        with ClusterService(config=cluster_config, workers=2,
+                            respawn=False) as service:
+            service.insert_many(WORDS, keys=KEYS)
+            before = service.search_many(PROBES)
+            kill_worker(service, 0)
+            after = service.search_many(PROBES)
+            assert [r.match_keys for r in after] == \
+                [r.match_keys for r in before]
+            assert service.backend.ring.nodes == [1]
+
+    def test_all_workers_dead_without_respawn_raises_typed(
+            self, cluster_config):
+        with ClusterService(config=cluster_config, workers=1,
+                            respawn=False) as service:
+            service.insert(WORDS[0], key="a")
+            kill_worker(service, 0)
+            with pytest.raises(WorkerUnavailable):
+                service.search_many(PROBES)
+
+
+class TestWriterDeath:
+    def test_writes_fail_fast_reads_keep_serving(self, service):
+        service.insert_many(WORDS, keys=KEYS)
+        service.backend.crash_point = CrashPoint("cluster.publish.before")
+        with pytest.raises(SimulatedCrash):
+            service.insert("000000000000", key="late")
+        assert service.backend.writer_failed
+        with pytest.raises(ClusterWriterFailed):
+            service.insert("000000000000", key="later")
+        # Reads still answer from the last published generation.
+        result = service.search(PROBES[0])
+        assert result.match_keys == ["a", "b", "f"]
+        assert result.generation == service.backend.generation_published
+
+
+class TestTelemetry:
+    def test_stats_mirror_serving(self, service):
+        service.insert_many(WORDS, keys=KEYS)
+        service.search(PROBES[0])
+        service.search_many(PROBES)
+        stats = service.stats
+        assert stats.submitted == 1 + len(PROBES)
+        assert stats.served == 1 + len(PROBES)
+        assert stats.writes == 1
+        assert stats.direct == len(PROBES)
+        assert stats.generation == 1
+        assert stats.p50_latency > 0
+
+    def test_worker_stats_split_the_load(self, service):
+        service.insert_many(WORDS, keys=KEYS)
+        service.search_many(PROBES * 8)
+        telemetry = service.worker_stats()
+        assert len(telemetry) == 2
+        assert sum(t["searches"] for t in telemetry) == len(PROBES) * 8
+        assert all(t["generation"] == 1 for t in telemetry)
+        assert all(t["occupancy"] == len(WORDS) for t in telemetry)
+
+    def test_energy_total_includes_worker_searches(self, service):
+        service.insert_many(WORDS, keys=KEYS)
+        write_only = service.store.stats.energy_total
+        assert write_only > 0
+        service.search_many(PROBES)
+        assert service.store.stats.energy_total > write_only
+
+    def test_obs_instrument_exports_per_worker_series(self, service):
+        registry = MetricsRegistry()
+        unregister = instrument(service, registry)
+        service.insert_many(WORDS, keys=KEYS)
+        service.search_many(PROBES)
+        by_name = {s.name: s for s in registry.collect()}
+        alive = by_name["fecam_cluster_worker_alive"]
+        assert sorted(dict(sample.labels)["worker"]
+                      for sample in alive.samples) == ["0", "1"]
+        assert all(s.value == 1.0 for s in alive.samples)
+        searches = by_name["fecam_cluster_worker_searches_total"]
+        assert sum(s.value for s in searches.samples) == len(PROBES)
+        assert by_name["fecam_cluster_writer_ok"].samples[0].value == 1.0
+        assert by_name["fecam_cluster_workers"].samples[0].value == 2.0
+        assert "fecam_service_served_total" in by_name
+        assert "fecam_fabric_bank_occupancy" in by_name
+        unregister()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_refuses_new_work(
+            self, cluster_config):
+        service = ClusterService(config=cluster_config, workers=2)
+        service.insert(WORDS[0], key="a")
+        assert service.close()
+        assert service.close()
+        with pytest.raises(ServiceClosed):
+            service.search(PROBES[0])
+
+    def test_adopted_store_is_not_closed_by_default(self, cluster_config):
+        backend = ClusterBackend(cluster_config, workers=1)
+        try:
+            store = CamStore(backend=backend)
+            service = ClusterService(store)
+            service.insert(WORDS[0], key="a")
+            service.close()
+            # The caller owns the backend: still serving.
+            assert backend.search_batch(
+                [PROBES[0]])[0].match_keys == ["a"]
+        finally:
+            backend.close()
+
+    def test_non_fabric_config_rejected(self):
+        with pytest.raises(OperationError):
+            ClusterBackend(make_config(banks=1, backend="array"),
+                           workers=1)
+
+    def test_start_method_round_trips(self, cluster_config):
+        method = service_method = None
+        with ClusterService(config=cluster_config, workers=1) as service:
+            service_method = service.backend.start_method
+            service.insert(WORDS[0], key="a")
+            assert service.search(PROBES[0]).match_keys == ["a"]
+        import multiprocessing
+        assert service_method in multiprocessing.get_all_start_methods()
+        with pytest.raises(OperationError):
+            ClusterBackend(cluster_config, workers=1,
+                           start_method="not-a-method")
+        del method
+
+
+class TestDurableRecoveryIntoCluster:
+    def test_workers_observe_recovered_content(self, tmp_path):
+        from fecam.durable import DurabilityConfig, DurableCamStore, recover
+        directory = str(tmp_path / "wal")
+        durable = DurableCamStore(
+            make_config(),
+            durability=DurabilityConfig(directory=directory, fsync="off"))
+        durable.insert_many(WORDS, keys=KEYS)
+        durable.delete("c")
+        durable.update("a", "101011110000")
+        durable.close()
+
+        recovered = recover(directory)
+        try:
+            backend = ClusterBackend.from_store(recovered, workers=2)
+        finally:
+            recovered.close()
+        try:
+            for probe in PROBES:
+                expected = recovered.search(probe, use_cache=False)
+                got = backend.search_batch([probe])[0]
+                assert got.match_keys == expected.match_keys
+                assert [(m.bank, m.row) for m in got.matches] == \
+                    [(m.bank, m.row) for m in expected.matches]
+                assert got.energy == expected.energy
+            assert backend.occupancy == len(recovered)
+        finally:
+            backend.close()

@@ -1,0 +1,84 @@
+"""Worker-lifecycle hygiene: no leaked /dev/shm segments, ever.
+
+Shared segments are files in a private ``fecam-cluster-*`` directory;
+"no leak" means that directory is gone after ``close()``, after the
+backend is garbage-collected without a close, and regardless of how
+the workers died.  Each test points ``shm_dir`` at a pytest tmp dir so
+the assertion is exact (the directory tree is empty afterwards) and
+never races other tests' clusters.
+"""
+
+import gc
+import os
+import signal
+
+import pytest
+
+from fecam.cluster import ClusterBackend, ClusterService
+
+from cluster_utils import make_config
+
+
+def segments(base) -> list:
+    return sorted(p.name for p in base.iterdir())
+
+
+class TestBackendHygiene:
+    def test_close_unlinks_the_segment(self, tmp_path):
+        backend = ClusterBackend(make_config(), workers=2,
+                                 shm_dir=str(tmp_path))
+        assert len(segments(tmp_path)) == 1
+        backend.close()
+        assert segments(tmp_path) == []
+        backend.close()  # idempotent
+
+    def test_gc_without_close_unlinks_via_finalizer(self, tmp_path):
+        backend = ClusterBackend(make_config(), workers=1,
+                                 shm_dir=str(tmp_path))
+        backend.insert("1010XXXXXXXX", "a", 0.0, None, 0)
+        assert len(segments(tmp_path)) == 1
+        del backend
+        gc.collect()
+        assert segments(tmp_path) == []
+
+    def test_abnormal_worker_exit_leaves_no_segment_behind(
+            self, tmp_path):
+        """SIGKILLed workers can't run their own cleanup — the owner's
+        unlink must still leave nothing, even mid-respawn."""
+        backend = ClusterBackend(make_config(), workers=2,
+                                 shm_dir=str(tmp_path))
+        backend.insert("1010XXXXXXXX", "a", 0.0, None, 0)
+        for handle in list(backend._handles.values()):
+            os.kill(handle.process.pid, signal.SIGKILL)
+            handle.process.join(5)
+        backend.search_batch(["101011111111"])  # respawns the pool
+        backend.close()
+        assert segments(tmp_path) == []
+
+    def test_every_worker_process_is_reaped_on_close(self, tmp_path):
+        backend = ClusterBackend(make_config(), workers=2,
+                                 shm_dir=str(tmp_path))
+        procs = [h.process for h in backend._handles.values()]
+        assert all(p.is_alive() for p in procs)
+        backend.close()
+        for proc in procs:
+            proc.join(5)
+        assert not any(p.is_alive() for p in procs)
+
+
+class TestServiceHygiene:
+    def test_service_close_unlinks_owned_backend(self, tmp_path):
+        service = ClusterService(config=make_config(), workers=2,
+                                 shm_dir=str(tmp_path))
+        service.insert("1010XXXXXXXX", key="a")
+        assert len(segments(tmp_path)) == 1
+        service.close()
+        assert segments(tmp_path) == []
+
+    def test_context_manager_cleans_up_on_error(self, tmp_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with ClusterService(config=make_config(), workers=1,
+                                shm_dir=str(tmp_path)) as service:
+                service.insert("1010XXXXXXXX", key="a")
+                raise RuntimeError("boom")
+        assert segments(tmp_path) == []

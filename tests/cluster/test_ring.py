@@ -1,0 +1,113 @@
+"""HashRing unit tests: deterministic, complete, minimally disruptive.
+
+The front door leans on three properties: every process computes the
+*same* routes (content-derived hashing, no ``PYTHONHASHSEED``), a
+partition covers every query exactly once, and removing a node moves
+only that node's arc — the other workers' assignments survive a death
+untouched, which is what makes rehash-on-death cheap.
+"""
+
+import random
+
+import pytest
+
+from fecam.cluster import HashRing
+from fecam.errors import OperationError, TernaryValueError
+
+
+def random_queries(n, width=12, seed=7):
+    rng = random.Random(seed)
+    return ["".join(rng.choice("01") for _ in range(width))
+            for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_identical_rings_route_identically(self):
+        a = HashRing(range(4))
+        b = HashRing([3, 1, 0, 2])  # construction order must not matter
+        for q in random_queries(200):
+            assert a.node_for(q) == b.node_for(q)
+
+    def test_partition_agrees_with_scalar_routing(self):
+        ring = HashRing(range(4))
+        queries = random_queries(300)
+        for node, positions in ring.partition(queries):
+            for i in positions:
+                assert ring.node_for(queries[i]) == node
+
+
+class TestCoverage:
+    def test_partition_covers_every_index_exactly_once(self):
+        ring = HashRing(range(5))
+        queries = random_queries(500)
+        seen = sorted(i for _, positions in ring.partition(queries)
+                      for i in positions)
+        assert seen == list(range(len(queries)))
+
+    def test_load_spreads_over_workers(self):
+        ring = HashRing(range(4))
+        counts = {node: len(positions)
+                  for node, positions in ring.partition(
+                      random_queries(2000))}
+        assert len(counts) == 4
+        assert min(counts.values()) > 0
+
+    def test_single_node_and_empty_fast_paths(self):
+        ring = HashRing([0])
+        queries = random_queries(10)
+        assert ring.partition(queries) == [(0, list(range(10)))]
+        assert ring.partition([]) == []
+        assert ring.node_for(queries[0]) == 0
+
+    def test_mixed_width_batch_falls_back_to_scalar(self):
+        ring = HashRing(range(3))
+        queries = ["0101", "01010101", "0011", "11110000"]
+        seen = sorted(i for _, positions in ring.partition(queries)
+                      for i in positions)
+        assert seen == [0, 1, 2, 3]
+        for node, positions in ring.partition(queries):
+            for i in positions:
+                assert ring.node_for(queries[i]) == node
+
+
+class TestMembership:
+    def test_removal_moves_only_the_dead_arc(self):
+        ring = HashRing(range(4))
+        queries = random_queries(1000)
+        before = {}
+        for node, positions in ring.partition(queries):
+            for i in positions:
+                before[i] = node
+        ring.remove(2)
+        for node, positions in ring.partition(queries):
+            for i in positions:
+                if before[i] != 2:
+                    # Survivors keep every query they already owned.
+                    assert node == before[i]
+                else:
+                    assert node != 2
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing(range(2))
+        ring.add(1)
+        assert ring.nodes == [0, 1]
+        ring.remove(9)
+        assert ring.nodes == [0, 1]
+
+    def test_empty_ring_refuses_to_route(self):
+        ring = HashRing([])
+        with pytest.raises(OperationError):
+            ring.node_for("0101")
+        with pytest.raises(OperationError):
+            ring.partition(["0101"])
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(OperationError):
+            HashRing(range(2), replicas=0)
+
+
+class TestValidation:
+    def test_non_ascii_query_raises_typed(self):
+        ring = HashRing(range(2))
+        with pytest.raises(TernaryValueError):
+            ring.partition(["01ü1", "0111"])

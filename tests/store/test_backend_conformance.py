@@ -7,7 +7,12 @@ every supported backend configuration through a parametrized fixture:
 
 * ``array``    — :class:`ArrayBackend` (one :class:`TernaryCAM`);
 * ``fabric-1`` — :class:`FabricBackend` with a single bank;
-* ``fabric-4`` — :class:`FabricBackend` sharded over four banks.
+* ``fabric-4`` — :class:`FabricBackend` sharded over four banks;
+* ``cluster``  — :class:`~fecam.cluster.ClusterBackend`: the same
+  fabric behind a shared-memory arena, searches served by two worker
+  *processes* over zero-copy views.  Running the identical battery
+  proves the multi-process path is bit-identical — matches, energy,
+  latency, counters — to the in-process backends.
 
 Adding a backend (or a bank count) to ``BACKEND_CONFIGS`` runs the
 whole battery against it with zero new test code — the replacement for
@@ -16,6 +21,7 @@ the historical per-backend test duplication in ``tests/store/``.
 
 import pytest
 
+from fecam.cluster import ClusterBackend
 from fecam.designs import DesignKind
 from fecam.errors import OperationError, TernaryValueError
 from fecam.functional import EnergyModel
@@ -27,9 +33,11 @@ BACKEND_CONFIGS = [
     pytest.param(dict(backend="array", banks=1), id="array"),
     pytest.param(dict(backend="fabric", banks=1), id="fabric-1"),
     pytest.param(dict(backend="fabric", banks=4), id="fabric-4"),
+    pytest.param(dict(backend="cluster", banks=2), id="cluster"),
 ]
 
-_EXPECTED_BACKEND = {"array": ArrayBackend, "fabric": FabricBackend}
+_EXPECTED_BACKEND = {"array": ArrayBackend, "fabric": FabricBackend,
+                     "cluster": ClusterBackend}
 
 
 def fast_model(width):
@@ -47,14 +55,29 @@ def backend_kw(request):
 
 @pytest.fixture
 def store_factory(backend_kw):
-    """Build a store on the parametrized backend configuration."""
+    """Build a store on the parametrized backend configuration.
+
+    ``cluster`` is not a :data:`~fecam.store.config.BACKEND_KINDS`
+    config value (it wraps a fabric config), so it is built explicitly
+    and injected via ``CamStore(backend=...)``; its worker processes
+    and shared segments are torn down when the test ends.
+    """
+    backends = []
 
     def make(width=8, rows=8, **kw):
         kw.setdefault("energy_model", fast_model(width))
+        if backend_kw["backend"] == "cluster":
+            config = StoreConfig(width=width, rows=rows, backend="fabric",
+                                 banks=backend_kw["banks"], **kw)
+            backend = ClusterBackend(config, workers=2)
+            backends.append(backend)
+            return CamStore(backend=backend)
         return CamStore(StoreConfig(width=width, rows=rows,
                                     **backend_kw, **kw))
 
-    return make
+    yield make
+    for backend in backends:
+        backend.close()
 
 
 @pytest.fixture
